@@ -1,0 +1,137 @@
+// Package aggregation simulates the trusted aggregation service — the
+// MPC (IPA, PAM, Hybrid) or TEE (ARA) of §2.2 — that Cookie Monster treats
+// as a black box: it receives encrypted attribution reports, guarantees each
+// report is consumed at most once (nonce replay protection), sums a batch,
+// and releases the aggregate with Laplace noise calibrated to the query's
+// global sensitivity and the ε carried in the reports' authenticated data.
+//
+// Substitution note (DESIGN.md §3): the MPC/TEE is trusted not to leak
+// inputs or intermediate state in the paper's threat model, so an in-process
+// implementation that exposes only noisy aggregates preserves everything the
+// evaluation measures.
+package aggregation
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/attribution"
+	"repro/internal/core"
+	"repro/internal/privacy"
+	"repro/internal/stats"
+)
+
+// ErrReplayedNonce is returned when a batch contains a report whose nonce
+// was already consumed — the replay the nonce protocol exists to stop.
+var ErrReplayedNonce = errors.New("aggregation: replayed report nonce")
+
+// ErrEmptyBatch is returned for a query over zero reports.
+var ErrEmptyBatch = errors.New("aggregation: empty report batch")
+
+// ErrMixedBatch is returned when a batch mixes reports with inconsistent
+// authenticated data (querier, ε, query sensitivity or dimension); the
+// service refuses rather than guessing which parameters to enforce.
+var ErrMixedBatch = errors.New("aggregation: inconsistent report batch")
+
+// Result is the DP output released to the querier for one summation query.
+type Result struct {
+	// Aggregate is the noisy coordinate-wise sum of the batch's report
+	// histograms.
+	Aggregate attribution.Histogram
+	// BiasCount is the noisy sum of the κ-scaled bias flags (the side
+	// query M₀(D) of Appendix F). Zero-noise-free only if bias
+	// measurement was off for the whole batch.
+	BiasCount float64
+	// Batch is the number of reports aggregated.
+	Batch int
+	// Epsilon echoes the enforced privacy parameter.
+	Epsilon float64
+	// NoiseScale is the Laplace scale b = Δquery/ε applied per
+	// coordinate.
+	NoiseScale float64
+}
+
+// Service is the trusted aggregator. It is safe for concurrent use.
+type Service struct {
+	mech *privacy.LaplaceMechanism
+
+	mu   sync.Mutex
+	seen map[core.Nonce]struct{}
+}
+
+// NewService returns a service drawing noise from rng.
+func NewService(rng *stats.RNG) *Service {
+	return &Service{
+		mech: privacy.NewLaplaceMechanism(rng),
+		seen: make(map[core.Nonce]struct{}),
+	}
+}
+
+// Execute runs one summation query over a batch of reports: it validates
+// batch consistency, enforces one-use nonces, sums histograms and bias
+// flags, and perturbs every output coordinate with Laplace(Δquery/ε) noise,
+// yielding ε-DP for the batch under the query's global sensitivity.
+//
+// On any error nothing is consumed: a rejected batch can be fixed and
+// resubmitted.
+func (s *Service) Execute(reports []*core.Report) (*Result, error) {
+	if len(reports) == 0 {
+		return nil, ErrEmptyBatch
+	}
+	first := reports[0]
+	for _, r := range reports[1:] {
+		if r.Querier != first.Querier || r.Epsilon != first.Epsilon ||
+			r.QuerySensitivity != first.QuerySensitivity ||
+			len(r.Histogram) != len(first.Histogram) {
+			return nil, fmt.Errorf("%w: report %d disagrees with batch head",
+				ErrMixedBatch, r.Nonce)
+		}
+	}
+
+	// Atomically claim every nonce; roll back on replay so the caller can
+	// drop the offender and retry.
+	s.mu.Lock()
+	claimed := make([]core.Nonce, 0, len(reports))
+	for _, r := range reports {
+		if _, dup := s.seen[r.Nonce]; dup {
+			for _, n := range claimed {
+				delete(s.seen, n)
+			}
+			s.mu.Unlock()
+			return nil, fmt.Errorf("%w: nonce %d", ErrReplayedNonce, r.Nonce)
+		}
+		s.seen[r.Nonce] = struct{}{}
+		claimed = append(claimed, r.Nonce)
+	}
+	s.mu.Unlock()
+
+	sum := attribution.NewHistogram(len(first.Histogram))
+	bias := 0.0
+	for _, r := range reports {
+		sum.Add(r.Histogram)
+		bias += r.BiasFlag
+	}
+
+	scale := privacy.Scale(first.QuerySensitivity, first.Epsilon)
+	s.mu.Lock() // the RNG stream is not concurrency-safe
+	s.mech.Perturb(sum, first.QuerySensitivity, first.Epsilon)
+	noisy := s.mech.Perturb([]float64{bias}, first.QuerySensitivity, first.Epsilon)
+	s.mu.Unlock()
+
+	return &Result{
+		Aggregate:  sum,
+		BiasCount:  noisy[0],
+		Batch:      len(reports),
+		Epsilon:    first.Epsilon,
+		NoiseScale: scale,
+	}, nil
+}
+
+// ConsumedNonces reports how many report nonces have been consumed, for
+// tests and diagnostics.
+func (s *Service) ConsumedNonces() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.seen)
+}

@@ -1,0 +1,172 @@
+package aggregation
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/attribution"
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+func mkReport(nonce core.Nonce, value, eps, qsens float64) *core.Report {
+	return &core.Report{
+		Nonce:            nonce,
+		Querier:          "nike.com",
+		Histogram:        attribution.Histogram{value},
+		Epsilon:          eps,
+		QuerySensitivity: qsens,
+	}
+}
+
+func TestExecuteSumsAndNoises(t *testing.T) {
+	s := NewService(stats.NewRNG(1))
+	var reports []*core.Report
+	truth := 0.0
+	for i := 1; i <= 1000; i++ {
+		v := float64(i % 7)
+		truth += v
+		reports = append(reports, mkReport(core.Nonce(i), v, 5.0, 7.0))
+	}
+	res, err := s.Execute(reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Batch != 1000 || res.Epsilon != 5.0 {
+		t.Fatalf("result meta = %+v", res)
+	}
+	// Noise scale Δ/ε = 1.4: the estimate should be near the truth.
+	if math.Abs(res.Aggregate[0]-truth) > 30 {
+		t.Fatalf("aggregate %v too far from truth %v", res.Aggregate[0], truth)
+	}
+	if res.NoiseScale != 7.0/5.0 {
+		t.Fatalf("noise scale = %v", res.NoiseScale)
+	}
+}
+
+func TestExecuteEmptyBatch(t *testing.T) {
+	s := NewService(stats.NewRNG(2))
+	if _, err := s.Execute(nil); !errors.Is(err, ErrEmptyBatch) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestExecuteRejectsReplay(t *testing.T) {
+	s := NewService(stats.NewRNG(3))
+	r := mkReport(42, 1, 1, 1)
+	if _, err := s.Execute([]*core.Report{r}); err != nil {
+		t.Fatal(err)
+	}
+	// Same nonce again: replay must be rejected.
+	if _, err := s.Execute([]*core.Report{r}); !errors.Is(err, ErrReplayedNonce) {
+		t.Fatalf("replay err = %v", err)
+	}
+}
+
+func TestExecuteReplayRollsBack(t *testing.T) {
+	s := NewService(stats.NewRNG(4))
+	good := mkReport(1, 1, 1, 1)
+	dup := mkReport(2, 1, 1, 1)
+	if _, err := s.Execute([]*core.Report{dup}); err != nil {
+		t.Fatal(err)
+	}
+	// Batch with one fresh and one replayed nonce fails entirely...
+	if _, err := s.Execute([]*core.Report{good, dup}); !errors.Is(err, ErrReplayedNonce) {
+		t.Fatalf("err = %v", err)
+	}
+	// ...but the fresh nonce was rolled back and can still be used.
+	if _, err := s.Execute([]*core.Report{good}); err != nil {
+		t.Fatalf("rolled-back nonce unusable: %v", err)
+	}
+}
+
+func TestExecuteRejectsMixedBatches(t *testing.T) {
+	s := NewService(stats.NewRNG(5))
+	a := mkReport(1, 1, 1.0, 10)
+	cases := []*core.Report{
+		mkReport(2, 1, 2.0, 10), // different ε
+		mkReport(3, 1, 1.0, 20), // different sensitivity
+		{Nonce: 4, Querier: "adidas.com", Histogram: attribution.Histogram{1}, Epsilon: 1, QuerySensitivity: 10},
+		{Nonce: 5, Querier: "nike.com", Histogram: attribution.Histogram{1, 2}, Epsilon: 1, QuerySensitivity: 10},
+	}
+	for i, bad := range cases {
+		if _, err := s.Execute([]*core.Report{a, bad}); !errors.Is(err, ErrMixedBatch) {
+			t.Fatalf("case %d: err = %v", i, err)
+		}
+	}
+	// The head report's nonce must not have been burned by rejections.
+	if _, err := s.Execute([]*core.Report{a}); err != nil {
+		t.Fatalf("nonce burned by rejected batches: %v", err)
+	}
+}
+
+func TestExecuteAggregatesBiasFlags(t *testing.T) {
+	s := NewService(stats.NewRNG(6))
+	var reports []*core.Report
+	flagged := 0.0
+	for i := 1; i <= 2000; i++ {
+		r := mkReport(core.Nonce(i), 1, 10, 1)
+		if i%4 == 0 {
+			r.BiasFlag = 0.1
+			flagged += 0.1
+		}
+		reports = append(reports, r)
+	}
+	res, err := s.Execute(reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.BiasCount-flagged) > 2 {
+		t.Fatalf("bias count %v too far from %v", res.BiasCount, flagged)
+	}
+}
+
+func TestExecuteIsUnbiasedOverRuns(t *testing.T) {
+	// The mechanism must be centered: averaging many runs approaches the
+	// true sum.
+	truth := 100.0
+	sum := 0.0
+	const runs = 2000
+	for i := 0; i < runs; i++ {
+		s := NewService(stats.NewRNG(uint64(i + 10)))
+		res, err := s.Execute([]*core.Report{mkReport(1, truth, 1.0, 10)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += res.Aggregate[0]
+	}
+	if mean := sum / runs; math.Abs(mean-truth) > 1.5 {
+		t.Fatalf("mean estimate %v, want ~%v", mean, truth)
+	}
+}
+
+func TestConcurrentExecuteNoDoubleSpend(t *testing.T) {
+	s := NewService(stats.NewRNG(7))
+	const n = 100
+	var wg sync.WaitGroup
+	successes := make([]bool, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// All goroutines race to spend the same nonce.
+			_, err := s.Execute([]*core.Report{mkReport(core.Nonce(999), 1, 1, 1)})
+			successes[i] = err == nil
+		}(i)
+	}
+	wg.Wait()
+	count := 0
+	for _, ok := range successes {
+		if ok {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("nonce spent %d times, want exactly once", count)
+	}
+	if s.ConsumedNonces() != 1 {
+		t.Fatalf("consumed nonces = %d", s.ConsumedNonces())
+	}
+}

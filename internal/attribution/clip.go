@@ -1,0 +1,42 @@
+package attribution
+
+// ClipL1 enforces the querier-declared report global sensitivity: if the
+// histogram's L1 norm exceeds cap, every coordinate is scaled down
+// proportionally so the norm equals cap exactly (Listing 1, step 4 (1)).
+// The histogram is modified in place and returned.
+//
+// Proportional scaling (rather than per-coordinate truncation) preserves the
+// relative attribution the logic computed, which is what the ARA-style
+// contribution-bounding literature recommends; any strategy that guarantees
+// ‖A(F)‖₁ ≤ cap preserves the DP proof (§7, "clipping strategies").
+func ClipL1(h Histogram, cap float64) Histogram {
+	if cap < 0 {
+		panic("attribution: negative clipping cap")
+	}
+	norm := h.L1()
+	if norm <= cap || norm == 0 {
+		return h
+	}
+	scale := cap / norm
+	for i := range h {
+		h[i] *= scale
+	}
+	return h
+}
+
+// ClipNorm clips under the p-norm for p ∈ {1, 2}, the generalization used
+// when the aggregation service runs a Gaussian mechanism.
+func ClipNorm(h Histogram, cap float64, p int) Histogram {
+	if cap < 0 {
+		panic("attribution: negative clipping cap")
+	}
+	norm := h.Norm(p)
+	if norm <= cap || norm == 0 {
+		return h
+	}
+	scale := cap / norm
+	for i := range h {
+		h[i] *= scale
+	}
+	return h
+}

@@ -1,0 +1,90 @@
+package attribution
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestClipL1NoOpWhenUnderCap(t *testing.T) {
+	h := Histogram{3, 4}
+	ClipL1(h, 10)
+	if h[0] != 3 || h[1] != 4 {
+		t.Fatalf("under-cap clip changed histogram: %v", h)
+	}
+}
+
+func TestClipL1ScalesToCap(t *testing.T) {
+	h := Histogram{30, 70}
+	ClipL1(h, 50)
+	if math.Abs(h.L1()-50) > 1e-9 {
+		t.Fatalf("clipped norm = %v", h.L1())
+	}
+	// Relative attribution preserved: 30:70 ratio.
+	if math.Abs(h[0]/h[1]-30.0/70.0) > 1e-9 {
+		t.Fatalf("clip distorted ratio: %v", h)
+	}
+}
+
+func TestClipL1ZeroHistogram(t *testing.T) {
+	h := Histogram{0, 0}
+	ClipL1(h, 0)
+	if !h.IsZero() {
+		t.Fatal("zero histogram changed")
+	}
+}
+
+func TestClipL1NegativeCapPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative cap did not panic")
+		}
+	}()
+	ClipL1(Histogram{1}, -1)
+}
+
+func TestClipNormL2(t *testing.T) {
+	h := Histogram{3, 4} // L2 = 5
+	ClipNorm(h, 1, 2)
+	if math.Abs(h.L2()-1) > 1e-9 {
+		t.Fatalf("L2 clip = %v (norm %v)", h, h.L2())
+	}
+}
+
+func TestClipL1BoundsQuick(t *testing.T) {
+	f := func(raw []float64, rawCap float64) bool {
+		cap := math.Mod(math.Abs(rawCap), 1e6)
+		if math.IsNaN(cap) {
+			return true
+		}
+		h := make(Histogram, 0, len(raw))
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			h = append(h, math.Mod(v, 1e6))
+		}
+		before := h.Clone()
+		ClipL1(h, cap)
+		if h.L1() > cap*(1+1e-9)+1e-9 && before.L1() > cap {
+			return false // still over cap
+		}
+		if before.L1() <= cap {
+			for i := range h {
+				if h[i] != before[i] {
+					return false // clip must be a no-op under cap
+				}
+			}
+		}
+		// Signs preserved.
+		for i := range h {
+			if before[i]*h[i] < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,93 @@
+// Package attribution implements the paper's attribution functions
+// (§4.1.2): querier-chosen logics (last-touch, first-touch, equal-credit,
+// linear-decay) that distribute a conversion's value over the relevant
+// impressions found in an epoch window, produce a fixed-dimension report
+// vector, and are clipped so the report's L1 norm never exceeds the
+// querier-declared report global sensitivity.
+package attribution
+
+import "math"
+
+// Histogram is the m-dimensional output vector of an attribution function
+// A : P(I∪C)^k → R^m. Depending on the function it is either a
+// per-impression-slot vector (the §3.2 example's ρ = {(I₂,70),(0,0)}) or a
+// per-campaign-bin histogram (the a₁-vs-a₂ comparison of §4.1.3).
+type Histogram []float64
+
+// NewHistogram returns an all-zero histogram of dimension m — the value of
+// A(∅), and the padding used for null reports.
+func NewHistogram(m int) Histogram {
+	if m <= 0 {
+		panic("attribution: non-positive histogram dimension")
+	}
+	return make(Histogram, m)
+}
+
+// L1 returns the L1 norm ‖h‖₁ = Σ|hᵢ| — the sensitivity norm for the
+// Laplace mechanism and the paper's DP theorem.
+func (h Histogram) L1() float64 {
+	sum := 0.0
+	for _, v := range h {
+		sum += math.Abs(v)
+	}
+	return sum
+}
+
+// L2 returns the L2 norm, the sensitivity norm a Gaussian-mechanism
+// deployment would use (the p-norm generalization of §3.3).
+func (h Histogram) L2() float64 {
+	sum := 0.0
+	for _, v := range h {
+		sum += v * v
+	}
+	return math.Sqrt(sum)
+}
+
+// Norm returns the p-norm for p ∈ {1, 2}.
+func (h Histogram) Norm(p int) float64 {
+	switch p {
+	case 1:
+		return h.L1()
+	case 2:
+		return h.L2()
+	default:
+		panic("attribution: only L1 and L2 norms are supported")
+	}
+}
+
+// Total returns the sum of coordinates (the quantity a summation query
+// aggregates).
+func (h Histogram) Total() float64 {
+	sum := 0.0
+	for _, v := range h {
+		sum += v
+	}
+	return sum
+}
+
+// Add accumulates other into h coordinate-wise. It panics on dimension
+// mismatch: the aggregation service only ever sums reports from the same
+// query, which share a dimension by construction.
+func (h Histogram) Add(other Histogram) {
+	if len(h) != len(other) {
+		panic("attribution: histogram dimension mismatch")
+	}
+	for i, v := range other {
+		h[i] += v
+	}
+}
+
+// Clone returns an independent copy.
+func (h Histogram) Clone() Histogram {
+	return append(Histogram(nil), h...)
+}
+
+// IsZero reports whether every coordinate is exactly zero (a null report).
+func (h Histogram) IsZero() bool {
+	for _, v := range h {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}

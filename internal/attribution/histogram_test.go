@@ -1,0 +1,106 @@
+package attribution
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewHistogramZero(t *testing.T) {
+	h := NewHistogram(3)
+	if len(h) != 3 || !h.IsZero() {
+		t.Fatalf("NewHistogram = %v", h)
+	}
+}
+
+func TestNewHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewHistogram(0) did not panic")
+		}
+	}()
+	NewHistogram(0)
+}
+
+func TestNorms(t *testing.T) {
+	h := Histogram{3, -4}
+	if h.L1() != 7 {
+		t.Fatalf("L1 = %v", h.L1())
+	}
+	if h.L2() != 5 {
+		t.Fatalf("L2 = %v", h.L2())
+	}
+	if h.Norm(1) != 7 || h.Norm(2) != 5 {
+		t.Fatal("Norm dispatch wrong")
+	}
+	if h.Total() != -1 {
+		t.Fatalf("Total = %v", h.Total())
+	}
+}
+
+func TestNormPanicsOnUnsupportedP(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Norm(3) did not panic")
+		}
+	}()
+	Histogram{1}.Norm(3)
+}
+
+func TestAdd(t *testing.T) {
+	h := Histogram{1, 2}
+	h.Add(Histogram{10, 20})
+	if h[0] != 11 || h[1] != 22 {
+		t.Fatalf("Add = %v", h)
+	}
+}
+
+func TestAddDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dimension mismatch did not panic")
+		}
+	}()
+	Histogram{1}.Add(Histogram{1, 2})
+}
+
+func TestCloneIndependent(t *testing.T) {
+	h := Histogram{1, 2}
+	c := h.Clone()
+	c[0] = 99
+	if h[0] != 1 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	if !(Histogram{0, 0}).IsZero() {
+		t.Fatal("zero histogram not detected")
+	}
+	if (Histogram{0, 0.001}).IsZero() {
+		t.Fatal("nonzero histogram reported zero")
+	}
+}
+
+func TestL1TriangleInequalityQuick(t *testing.T) {
+	f := func(a, b []float64) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		ha, hb := make(Histogram, n), make(Histogram, n)
+		for i := 0; i < n; i++ {
+			if math.IsNaN(a[i]) || math.IsInf(a[i], 0) || math.IsNaN(b[i]) || math.IsInf(b[i], 0) {
+				return true
+			}
+			ha[i] = math.Mod(a[i], 1e6)
+			hb[i] = math.Mod(b[i], 1e6)
+		}
+		sum := ha.Clone()
+		sum.Add(hb)
+		return sum.L1() <= ha.L1()+hb.L1()+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

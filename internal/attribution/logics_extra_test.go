@@ -1,0 +1,156 @@
+package attribution
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPositionBased402040(t *testing.T) {
+	p := NewPositionBased(0.4, 0.4)
+	credits := p.Credits(imps(1, 5, 9, 12), 100)
+	// 40 / 10 / 10 / 40.
+	want := []float64{40, 10, 10, 40}
+	for i := range want {
+		if math.Abs(credits[i]-want[i]) > 1e-9 {
+			t.Fatalf("credits = %v, want %v", credits, want)
+		}
+	}
+}
+
+func TestPositionBasedSmallCounts(t *testing.T) {
+	p := NewPositionBased(0.4, 0.4)
+	if c := p.Credits(imps(3), 100); c[0] != 100 {
+		t.Fatalf("single impression credits = %v", c)
+	}
+	c := p.Credits(imps(3, 8), 100)
+	if math.Abs(c[0]-50) > 1e-9 || math.Abs(c[1]-50) > 1e-9 {
+		t.Fatalf("two-impression credits = %v", c)
+	}
+	// Asymmetric endpoints share proportionally.
+	q := NewPositionBased(0.3, 0.6)
+	c = q.Credits(imps(3, 8), 90)
+	if math.Abs(c[0]-30) > 1e-9 || math.Abs(c[1]-60) > 1e-9 {
+		t.Fatalf("asymmetric two-impression credits = %v", c)
+	}
+}
+
+func TestPositionBasedZeroEndpoints(t *testing.T) {
+	p := NewPositionBased(0, 0)
+	c := p.Credits(imps(1, 2), 10)
+	if c[0] != 5 || c[1] != 5 {
+		t.Fatalf("zero-endpoint credits = %v", c)
+	}
+}
+
+func TestPositionBasedPanics(t *testing.T) {
+	for _, tc := range [][2]float64{{-0.1, 0.4}, {0.4, -0.1}, {0.6, 0.6}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("weights %v did not panic", tc)
+				}
+			}()
+			NewPositionBased(tc[0], tc[1])
+		}()
+	}
+}
+
+func TestTimeDecayHalving(t *testing.T) {
+	d := NewTimeDecay(7)
+	// Two impressions exactly one half-life apart: 1/3 vs 2/3.
+	credits := d.Credits(imps(0, 7), 90)
+	if math.Abs(credits[0]-30) > 1e-9 || math.Abs(credits[1]-60) > 1e-9 {
+		t.Fatalf("credits = %v, want [30 60]", credits)
+	}
+}
+
+func TestTimeDecaySameDayUniform(t *testing.T) {
+	d := NewTimeDecay(7)
+	credits := d.Credits(imps(5, 5, 5), 90)
+	for _, c := range credits {
+		if math.Abs(c-30) > 1e-9 {
+			t.Fatalf("same-day credits = %v", credits)
+		}
+	}
+}
+
+func TestTimeDecayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero half-life did not panic")
+		}
+	}()
+	NewTimeDecay(0)
+}
+
+func TestExtraLogicsConserveValueQuick(t *testing.T) {
+	logics := []Logic{NewPositionBased(0.4, 0.4), NewTimeDecay(7), NewPositionBased(0.1, 0.2)}
+	f := func(dayBytes []uint8, rawValue float64) bool {
+		value := math.Mod(math.Abs(rawValue), 1000)
+		if math.IsNaN(value) || len(dayBytes) == 0 {
+			return true
+		}
+		days := make([]int, len(dayBytes))
+		for i, b := range dayBytes {
+			days[i] = int(b)
+		}
+		// Credits expect time order.
+		for i := 1; i < len(days); i++ {
+			if days[i] < days[i-1] {
+				days[i] = days[i-1]
+			}
+		}
+		for _, l := range logics {
+			credits := l.Credits(imps(days...), value)
+			sum := 0.0
+			for _, c := range credits {
+				if c < 0 {
+					return false
+				}
+				sum += c
+			}
+			if math.Abs(sum-value) > 1e-9*(1+value) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeDecayRecencyMonotoneQuick(t *testing.T) {
+	d := NewTimeDecay(7)
+	f := func(gaps []uint8) bool {
+		if len(gaps) == 0 {
+			return true
+		}
+		days := make([]int, len(gaps))
+		acc := 0
+		for i, g := range gaps {
+			acc += int(g % 10)
+			days[i] = acc
+		}
+		credits := d.Credits(imps(days...), 100)
+		for i := 1; i < len(credits); i++ {
+			if credits[i] < credits[i-1]-1e-9 {
+				return false // newer must earn at least as much
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtendedLogicByName(t *testing.T) {
+	for _, name := range []string{"position-based", "time-decay"} {
+		l, err := LogicByName(name)
+		if err != nil || l.Name() != name {
+			t.Fatalf("LogicByName(%q) = %v, %v", name, l, err)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+// Package bias implements the querier-side half of the paper's
+// bias-measurement mechanism (§3.4, Appendix F). The device-side half — the
+// κ-scaled per-report flag and its budget surcharge — lives in
+// internal/core; this package turns the DP-aggregated flag count M₀(D) into
+// the high-probability error bound of Thm. 15/16 and the cutoff-based query
+// rejection evaluated in §6.5 (Fig. 7c).
+package bias
+
+import (
+	"math"
+)
+
+// Bound is the querier's error assessment for one executed query.
+type Bound struct {
+	// FlaggedReports is the (noisy, debiased-at-zero) estimate of how
+	// many reports could be affected by an out-of-budget epoch:
+	// M₀(D)/κ plus the Laplace tail slack.
+	FlaggedReports float64
+	// BiasL1 is the high-probability upper bound on the query's absolute
+	// bias: FlaggedReports · Δmax (Thm. 15's right-hand side).
+	BiasL1 float64
+	// RMSRE is the resulting upper bound on root-mean-square relative
+	// error, combining the bias bound with the known Laplace noise
+	// standard deviation.
+	RMSRE float64
+}
+
+// Params configures the bound computation.
+type Params struct {
+	// Kappa is the flag scale κ the devices used.
+	Kappa float64
+	// NoiseStdDev is σ, the standard deviation of the Laplace noise the
+	// aggregation service added per coordinate (√2·Δquery/ε).
+	NoiseStdDev float64
+	// Beta is the failure probability of the tail bound (the paper uses
+	// the calibration β, 0.01).
+	Beta float64
+	// DeltaMax is max_r Δmax(ρ_r): the largest L1 change a report can
+	// suffer from emptied epochs (Thm. 18; equals the report global
+	// sensitivity for last-touch histograms).
+	DeltaMax float64
+	// ScaleFloor, when positive, floors the RMSRE denominator at the
+	// querier's historical query magnitude (B·c̃). Under heavy bias the
+	// released estimate shrinks toward zero, which would blow up the
+	// relative bound even though the querier knows roughly how large the
+	// true total is; flooring keeps the bound usable, as a querier with
+	// calibration history would.
+	ScaleFloor float64
+}
+
+// Compute turns the noisy flag count m0 (the side query's released value)
+// and the query's released estimate into the Appendix F bound:
+//
+//	‖E[M(D) − Q(D)]‖₁ ≤ (M₀(D) + σ·ln(1/β)/√2)/κ · max_r Δmax(ρ_r)
+//
+// with probability 1−β. The RMSRE bound divides by |estimate| and folds in
+// the noise variance 2·(σ/√2)²·... — for a Laplace(b) coordinate the RMS of
+// the noise is σ itself, so RMSRE² ≈ (bias/|Q|)² + (σ/|Q|)².
+func Compute(m0, estimate float64, p Params) Bound {
+	if p.Kappa <= 0 {
+		panic("bias: non-positive kappa")
+	}
+	if p.Beta <= 0 || p.Beta >= 1 {
+		panic("bias: beta outside (0,1)")
+	}
+	if p.NoiseStdDev < 0 || p.DeltaMax < 0 {
+		panic("bias: negative noise or sensitivity")
+	}
+	slack := p.NoiseStdDev * math.Log(1/p.Beta) / math.Sqrt2
+	flagged := (m0 + slack) / p.Kappa
+	if flagged < 0 {
+		flagged = 0 // noise can push the count negative; clamp
+	}
+	biasL1 := flagged * p.DeltaMax
+
+	denom := math.Abs(estimate)
+	if p.ScaleFloor > denom {
+		denom = p.ScaleFloor
+	}
+	var rmsre float64
+	if denom == 0 {
+		rmsre = math.Inf(1)
+	} else {
+		rmsre = math.Sqrt(biasL1*biasL1+p.NoiseStdDev*p.NoiseStdDev) / denom
+	}
+	return Bound{FlaggedReports: flagged, BiasL1: biasL1, RMSRE: rmsre}
+}
+
+// Accept applies the §6.5 cutoff rule: the querier keeps the query's result
+// only when the estimated RMSRE is at or below the cutoff. Rejected queries
+// still consumed budget — rejection is post-processing.
+func (b Bound) Accept(cutoff float64) bool {
+	return b.RMSRE <= cutoff
+}

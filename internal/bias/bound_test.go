@@ -1,0 +1,139 @@
+package bias
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func params() Params {
+	return Params{Kappa: 10, NoiseStdDev: 14.14, Beta: 0.01, DeltaMax: 100}
+}
+
+func TestComputeZeroFlagsStillHasSlack(t *testing.T) {
+	b := Compute(0, 10000, params())
+	// Even with zero reported flags, the tail slack keeps the bound
+	// positive: the querier can never be *certain* no report was biased.
+	if b.FlaggedReports <= 0 {
+		t.Fatalf("flagged = %v, want > 0 from noise slack", b.FlaggedReports)
+	}
+}
+
+func TestComputeNegativeCountClamps(t *testing.T) {
+	p := params()
+	b := Compute(-1e9, 10000, p)
+	if b.FlaggedReports != 0 || b.BiasL1 != 0 {
+		t.Fatalf("negative count not clamped: %+v", b)
+	}
+	// RMSRE still includes the noise term.
+	if want := p.NoiseStdDev / 10000; math.Abs(b.RMSRE-want) > 1e-12 {
+		t.Fatalf("RMSRE = %v, want %v", b.RMSRE, want)
+	}
+}
+
+func TestComputeScalesWithDeltaMax(t *testing.T) {
+	p := params()
+	b1 := Compute(50, 1000, p)
+	p.DeltaMax *= 2
+	b2 := Compute(50, 1000, p)
+	if math.Abs(b2.BiasL1-2*b1.BiasL1) > 1e-9 {
+		t.Fatalf("bias bound not linear in Δmax: %v vs %v", b1.BiasL1, b2.BiasL1)
+	}
+}
+
+func TestComputeZeroEstimate(t *testing.T) {
+	if !math.IsInf(Compute(1, 0, params()).RMSRE, 1) {
+		t.Fatal("zero estimate should give +Inf RMSRE")
+	}
+}
+
+func TestComputePanics(t *testing.T) {
+	bad := []Params{
+		{Kappa: 0, NoiseStdDev: 1, Beta: 0.1, DeltaMax: 1},
+		{Kappa: 1, NoiseStdDev: 1, Beta: 0, DeltaMax: 1},
+		{Kappa: 1, NoiseStdDev: 1, Beta: 1, DeltaMax: 1},
+		{Kappa: 1, NoiseStdDev: -1, Beta: 0.1, DeltaMax: 1},
+		{Kappa: 1, NoiseStdDev: 1, Beta: 0.1, DeltaMax: -1},
+	}
+	for i, p := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d did not panic", i)
+				}
+			}()
+			Compute(0, 1, p)
+		}()
+	}
+}
+
+func TestAcceptCutoff(t *testing.T) {
+	b := Bound{RMSRE: 0.05}
+	if !b.Accept(0.05) {
+		t.Fatal("boundary should accept")
+	}
+	if b.Accept(0.049) {
+		t.Fatal("above cutoff should reject")
+	}
+	if !b.Accept(math.Inf(1)) {
+		t.Fatal("infinite cutoff should accept everything")
+	}
+}
+
+// Property: the bound is a valid upper bound — with the true flag count
+// (no noise on m0) and Δmax ≥ each report's actual change, the true bias is
+// always below BiasL1.
+func TestBoundDominatesTrueBiasQuick(t *testing.T) {
+	f := func(flagged uint8, perReportBias uint8) bool {
+		n := int(flagged)
+		kappa := 10.0
+		trueBias := 0.0
+		deltaMax := 100.0
+		per := math.Mod(float64(perReportBias), deltaMax)
+		for i := 0; i < n; i++ {
+			trueBias += per
+		}
+		m0 := kappa * float64(n) // exact count, κ-scaled
+		b := Compute(m0, 1000, Params{Kappa: kappa, NoiseStdDev: 1, Beta: 0.01, DeltaMax: deltaMax})
+		return b.BiasL1 >= trueBias-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: RMSRE bound is monotone in the flag count.
+func TestBoundMonotoneQuick(t *testing.T) {
+	f := func(a, b uint16) bool {
+		lo, hi := float64(a), float64(b)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		p := params()
+		return Compute(lo, 500, p).RMSRE <= Compute(hi, 500, p).RMSRE+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScaleFloorStabilizesDenominator(t *testing.T) {
+	p := params()
+	p.ScaleFloor = 1000
+	// A bias-shrunken estimate of 10 would explode the relative bound;
+	// the floor keeps the denominator at the historical scale.
+	floored := Compute(50, 10, p)
+	p.ScaleFloor = 0
+	raw := Compute(50, 10, p)
+	if !(floored.RMSRE < raw.RMSRE) {
+		t.Fatalf("floor did not tighten: %v vs %v", floored.RMSRE, raw.RMSRE)
+	}
+	// With an estimate above the floor, the floor is inert.
+	p.ScaleFloor = 1000
+	big := Compute(50, 5000, p)
+	p.ScaleFloor = 0
+	bigRaw := Compute(50, 5000, p)
+	if big.RMSRE != bigRaw.RMSRE {
+		t.Fatal("floor changed an above-floor estimate")
+	}
+}

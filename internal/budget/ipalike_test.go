@@ -1,0 +1,140 @@
+package budget
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/events"
+	"repro/internal/privacy"
+)
+
+const nike = events.Site("nike.com")
+
+func TestAuthorizeConsumesAllWindowEpochs(t *testing.T) {
+	b := NewIPALike(1.0)
+	if err := b.Authorize(nike, 0, 3, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	for e := events.Epoch(0); e <= 3; e++ {
+		if got := b.Consumed(nike, e); got != 0.25 {
+			t.Fatalf("epoch %d consumed = %v", e, got)
+		}
+	}
+	if b.Consumed(nike, 4) != 0 {
+		t.Fatal("untouched epoch consumed")
+	}
+}
+
+func TestAuthorizeAllOrNothing(t *testing.T) {
+	b := NewIPALike(1.0)
+	// Exhaust epoch 2 only.
+	if err := b.Authorize(nike, 2, 2, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	// A window covering epoch 2 must be rejected *without* charging the
+	// other epochs.
+	err := b.Authorize(nike, 0, 3, 0.5)
+	if !errors.Is(err, privacy.ErrBudgetExhausted) {
+		t.Fatalf("err = %v", err)
+	}
+	for _, e := range []events.Epoch{0, 1, 3} {
+		if got := b.Consumed(nike, e); got != 0 {
+			t.Fatalf("epoch %d charged by rejected query: %v", e, got)
+		}
+	}
+	// A window avoiding epoch 2 still works.
+	if err := b.Authorize(nike, 0, 1, 0.5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAuthorizePerQuerierIsolation(t *testing.T) {
+	b := NewIPALike(1.0)
+	if err := b.Authorize(nike, 0, 0, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Authorize("adidas.com", 0, 0, 1.0); err != nil {
+		t.Fatalf("other querier blocked: %v", err)
+	}
+}
+
+func TestAuthorizeSequentialDepletion(t *testing.T) {
+	// The headline IPA behaviour: repeated queries deplete the shared
+	// filter after capacity/ε queries, then everything is rejected.
+	b := NewIPALike(1.0)
+	const eps = 0.3
+	granted := 0
+	for i := 0; i < 10; i++ {
+		if b.Authorize(nike, 0, 4, eps) == nil {
+			granted++
+		}
+	}
+	if granted != 3 {
+		t.Fatalf("granted %d queries, want 3 (= ⌊1/0.3⌋)", granted)
+	}
+}
+
+func TestAuthorizeEmptyWindow(t *testing.T) {
+	b := NewIPALike(1.0)
+	if err := b.Authorize(nike, 5, 4, 0.5); err != nil {
+		t.Fatalf("inverted window should be a no-op: %v", err)
+	}
+	if b.Consumed(nike, 4) != 0 || b.Consumed(nike, 5) != 0 {
+		t.Fatal("inverted window consumed budget")
+	}
+}
+
+func TestAuthorizeNegativeEpsilonPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative eps did not panic")
+		}
+	}()
+	NewIPALike(1).Authorize(nike, 0, 0, -0.1)
+}
+
+func TestNewIPALikeNegativeCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative capacity did not panic")
+		}
+	}()
+	NewIPALike(-1)
+}
+
+func TestCapacityAccessor(t *testing.T) {
+	if NewIPALike(2.5).Capacity() != 2.5 {
+		t.Fatal("capacity accessor wrong")
+	}
+}
+
+func TestConcurrentAuthorizeNeverOverConsumes(t *testing.T) {
+	b := NewIPALike(1.0)
+	const eps = 0.1
+	const workers = 50
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	granted := 0
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if b.Authorize(nike, 0, 2, eps) == nil {
+				mu.Lock()
+				granted++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if granted != 10 {
+		t.Fatalf("granted %d, want 10", granted)
+	}
+	for e := events.Epoch(0); e <= 2; e++ {
+		if got := b.Consumed(nike, e); math.Abs(got-1.0) > 1e-9 {
+			t.Fatalf("epoch %d consumed %v, want 1.0", e, got)
+		}
+	}
+}

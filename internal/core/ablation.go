@@ -1,0 +1,76 @@
+package core
+
+import (
+	"repro/internal/attribution"
+	"repro/internal/events"
+)
+
+// This file decomposes Cookie Monster's loss policy into its constituent
+// optimizations (§4.3) so experiments can ablate each design choice:
+//
+//	opt 1 (zero-loss):   epochs with no relevant events pay nothing;
+//	opt 2 (report cap):  epochs pay ε·Δreport/Δquery instead of ε;
+//	opt 3 (single-epoch): one-epoch windows pay the exact output norm.
+//
+// CookieMonsterPolicy == all three; ARALikePolicy == none. The two partial
+// policies below sit between them and remain sound: each charges at least
+// the Thm. 4 individual loss for every epoch.
+
+// ZeroLossOnlyPolicy applies only optimization 1: epochs without relevant
+// events pay nothing, but participating epochs pay the full requested ε
+// (no report-cap or single-epoch scaling).
+type ZeroLossOnlyPolicy struct{}
+
+// EpochLoss implements LossPolicy.
+func (ZeroLossOnlyPolicy) EpochLoss(relevant []events.Event, req *Request) float64 {
+	if len(relevant) == 0 {
+		return 0
+	}
+	return req.Epsilon
+}
+
+// Name implements LossPolicy.
+func (ZeroLossOnlyPolicy) Name() string { return "zero-loss-only" }
+
+// ReportCapOnlyPolicy applies only optimization 2: every window epoch pays
+// the report-cap-scaled loss ε·Δreport/Δquery, relevant data or not (the
+// $70/$100 scaling without the empty-epoch discount).
+type ReportCapOnlyPolicy struct{}
+
+// EpochLoss implements LossPolicy.
+func (ReportCapOnlyPolicy) EpochLoss(_ []events.Event, req *Request) float64 {
+	return req.Epsilon * req.ReportSensitivity / req.QuerySensitivity
+}
+
+// Name implements LossPolicy.
+func (ReportCapOnlyPolicy) Name() string { return "report-cap-only" }
+
+// SingleEpochAwarePolicy applies optimizations 1 and 3 but not 2: empty
+// epochs pay nothing, single-epoch windows pay the output norm scaled by
+// the *query* sensitivity, and multi-epoch participating epochs pay full ε.
+type SingleEpochAwarePolicy struct{}
+
+// EpochLoss implements LossPolicy.
+func (SingleEpochAwarePolicy) EpochLoss(relevant []events.Event, req *Request) float64 {
+	if len(relevant) == 0 {
+		return 0
+	}
+	if req.WindowSize() == 1 {
+		h := req.Function.Attribute([][]events.Event{relevant})
+		attribution.ClipNorm(h, req.ReportSensitivity, req.PNorm)
+		return req.Epsilon * h.Norm(req.PNorm) / req.QuerySensitivity
+	}
+	return req.Epsilon
+}
+
+// Name implements LossPolicy.
+func (SingleEpochAwarePolicy) Name() string { return "single-epoch-aware" }
+
+// AblationPolicies lists the policy ladder from no optimizations to all of
+// them, in increasing savings order.
+var AblationPolicies = []LossPolicy{
+	ARALikePolicy{},
+	ReportCapOnlyPolicy{},
+	ZeroLossOnlyPolicy{},
+	CookieMonsterPolicy{},
+}

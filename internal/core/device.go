@@ -1,0 +1,219 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/attribution"
+	"repro/internal/events"
+	"repro/internal/privacy"
+)
+
+// Device is the on-device Cookie Monster engine for a single device d: it
+// owns the device's view of the events database, a table of privacy filters
+// — one per (querier, epoch) pair, each with capacity ε^G_d — and the report
+// generation algorithm of Listing 1. All methods are safe for concurrent
+// use; the budget check-and-consume per epoch is atomic.
+type Device struct {
+	id       events.DeviceID
+	db       *events.Database
+	capacity float64
+	policy   LossPolicy
+
+	mu         sync.Mutex
+	budgets    map[events.Site]map[events.Epoch]*privacy.Filter
+	epochFloor events.Epoch
+}
+
+// NewDevice returns a device engine with per-epoch, per-querier budget
+// capacity epsG, charging losses according to policy (CookieMonsterPolicy
+// for the real system, ARALikePolicy for the baseline).
+func NewDevice(id events.DeviceID, db *events.Database, epsG float64, policy LossPolicy) *Device {
+	if db == nil {
+		panic("core: nil database")
+	}
+	if epsG < 0 {
+		panic("core: negative budget capacity")
+	}
+	if policy == nil {
+		panic("core: nil loss policy")
+	}
+	return &Device{
+		id:         id,
+		db:         db,
+		capacity:   epsG,
+		policy:     policy,
+		budgets:    make(map[events.Site]map[events.Epoch]*privacy.Filter),
+		epochFloor: events.Epoch(-1 << 31),
+	}
+}
+
+// ID returns the device identifier.
+func (d *Device) ID() events.DeviceID { return d.id }
+
+// Capacity returns the per-epoch budget capacity ε^G_d.
+func (d *Device) Capacity() float64 { return d.capacity }
+
+// Policy returns the loss policy in effect.
+func (d *Device) Policy() LossPolicy { return d.policy }
+
+// filter returns (lazily creating) the privacy filter F_x for
+// (querier, epoch).
+func (d *Device) filter(q events.Site, e events.Epoch) *privacy.Filter {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	byEpoch := d.budgets[q]
+	if byEpoch == nil {
+		byEpoch = make(map[events.Epoch]*privacy.Filter)
+		d.budgets[q] = byEpoch
+	}
+	f := byEpoch[e]
+	if f == nil {
+		f = privacy.NewFilter(d.capacity)
+		byEpoch[e] = f
+	}
+	return f
+}
+
+// Consumed returns the privacy loss consumed so far by querier q from epoch
+// e on this device (0 if the filter was never touched). Experiments read
+// it; queriers never can — remaining budgets are data-dependent and must
+// stay hidden (§3.4).
+func (d *Device) Consumed(q events.Site, e events.Epoch) float64 {
+	d.mu.Lock()
+	byEpoch := d.budgets[q]
+	d.mu.Unlock()
+	if byEpoch == nil {
+		return 0
+	}
+	f := byEpoch[e]
+	if f == nil {
+		return 0
+	}
+	return f.Consumed()
+}
+
+// GenerateReport runs Listing 1's compute_attribution_report for one
+// conversion. It always returns a fixed-shape report (null-padded when
+// budget or data is missing) so that report presence and shape leak nothing;
+// an error is returned only for malformed requests.
+func (d *Device) GenerateReport(req *Request) (*Report, *Diagnostics, error) {
+	if err := req.Validate(); err != nil {
+		return nil, nil, err
+	}
+
+	epochs := req.Epochs()
+	k := len(epochs)
+	surviving := make([][]events.Event, k) // post-filter relevant events
+	truthful := make([][]events.Event, k)  // pre-filter relevant events
+	diag := &Diagnostics{
+		PerEpochLoss:     make(map[events.Epoch]float64, k),
+		RelevantPerEpoch: make(map[events.Epoch]int, k),
+	}
+	surcharge := biasSurcharge(req)
+	denied := make(map[events.Epoch]bool, k)
+
+	for i, e := range epochs {
+		// Evicted epochs are permanently out of scope: they contribute
+		// ∅ and are never charged (their filters are gone; recreating
+		// one would refund budget).
+		if d.belowFloor(e) {
+			diag.PerEpochLoss[e] = 0
+			diag.RelevantPerEpoch[e] = 0
+			continue
+		}
+		// Step 1: select relevant events from the epoch.
+		relevant := events.Select(d.db.EpochEvents(d.id, e), req.Selector)
+		truthful[i] = relevant
+		diag.RelevantPerEpoch[e] = len(relevant)
+
+		// Step 2: individual privacy loss for this epoch, plus the
+		// side query's κ surcharge when bias measurement is on.
+		loss := d.policy.EpochLoss(relevant, req) + surcharge
+
+		// Step 3: atomic check-and-consume; on Halt the epoch's
+		// events are dropped (replaced by ∅) and nothing is charged.
+		if loss == 0 {
+			diag.PerEpochLoss[e] = 0
+			surviving[i] = relevant
+			continue
+		}
+		if err := d.filter(req.Querier, e).Consume(loss); err != nil {
+			denied[e] = true
+			diag.DeniedEpochs = append(diag.DeniedEpochs, e)
+			diag.PerEpochLoss[e] = 0
+			surviving[i] = nil
+			continue
+		}
+		diag.PerEpochLoss[e] = loss
+		surviving[i] = relevant
+	}
+
+	// Step 4: attribution over surviving epochs, clipped to the report
+	// global sensitivity and already padded to fixed dimension by the
+	// attribution function.
+	h := req.Function.Attribute(surviving)
+	attribution.ClipNorm(h, req.ReportSensitivity, req.PNorm)
+
+	truth := req.Function.Attribute(truthful)
+	attribution.ClipNorm(truth, req.ReportSensitivity, req.PNorm)
+	diag.TrueHistogram = truth
+	diag.Biased = !histogramsEqual(h, truth)
+
+	rep := &Report{
+		Nonce:            newNonce(),
+		Querier:          req.Querier,
+		Device:           d.id,
+		Histogram:        h,
+		Epsilon:          req.Epsilon,
+		QuerySensitivity: req.QuerySensitivity,
+	}
+	if req.Bias != nil {
+		rep.BiasFlag = biasFlag(req, epochs, surviving, denied)
+	}
+	return rep, diag, nil
+}
+
+// biasFlag computes the κ-scaled side-query coordinate of Appendix F. Under
+// the heartbeat convention an epoch reads as ∅ exactly when its filter
+// denied the loss, so:
+//
+//   - generic flag (Thm. 15): fires when any window epoch was denied;
+//   - last-touch flag (Thm. 16): fires when some denied epoch has no
+//     relevant impression in any *later* surviving epoch — i.e. the denial
+//     could actually have changed a last-touch report.
+func biasFlag(req *Request, epochs []events.Epoch, surviving [][]events.Event, denied map[events.Epoch]bool) float64 {
+	if len(denied) == 0 {
+		return 0
+	}
+	if !req.Bias.LastTouch {
+		return req.Bias.Kappa
+	}
+	for i, e := range epochs {
+		if !denied[e] {
+			continue
+		}
+		later := false
+		for j := i + 1; j < len(surviving); j++ {
+			if len(surviving[j]) > 0 {
+				later = true
+				break
+			}
+		}
+		if !later {
+			return req.Bias.Kappa
+		}
+	}
+	return 0
+}
+
+func histogramsEqual(a, b attribution.Histogram) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

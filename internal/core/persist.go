@@ -1,0 +1,104 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/events"
+	"repro/internal/privacy"
+)
+
+// This file persists a device's budget state — the analogue of the Chrome
+// prototype's privacy-filter database table (§5): ARA's database is extended
+// with one row per (epoch, querier) pair, and the browser must survive
+// restarts without forgetting consumed budget (forgetting would let queriers
+// reset a user's filters by waiting for a crash).
+//
+// Only filter states are persisted; the events database has its own
+// lifecycle, and loss policies are code, not state.
+
+// snapshotVersion guards the on-disk format.
+const snapshotVersion = 1
+
+// filterState is one persisted (querier, epoch) filter row.
+type filterState struct {
+	Querier  events.Site  `json:"querier"`
+	Epoch    events.Epoch `json:"epoch"`
+	Consumed float64      `json:"consumed"`
+	Capacity float64      `json:"capacity"`
+}
+
+// snapshot is the serialized device budget state.
+type snapshot struct {
+	Version  int             `json:"version"`
+	Device   events.DeviceID `json:"device"`
+	Capacity float64         `json:"capacity"`
+	Filters  []filterState   `json:"filters"`
+}
+
+// SaveBudgets serializes the device's filter table to w. The snapshot is a
+// consistent point-in-time view: concurrent report generation serializes
+// against it on the device mutex.
+func (d *Device) SaveBudgets(w io.Writer) error {
+	rows := d.Ledger() // sorted, locked internally
+	snap := snapshot{
+		Version:  snapshotVersion,
+		Device:   d.id,
+		Capacity: d.capacity,
+		Filters:  make([]filterState, 0, len(rows)),
+	}
+	for _, r := range rows {
+		snap.Filters = append(snap.Filters, filterState{
+			Querier:  r.Querier,
+			Epoch:    r.Epoch,
+			Consumed: r.Consumed,
+			Capacity: r.Capacity,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&snap)
+}
+
+// LoadBudgets restores a filter table previously written by SaveBudgets into
+// a fresh device. It refuses snapshots for a different device ID and
+// snapshots that would *lower* any filter's consumed budget below what the
+// device has already spent (replaying an old snapshot must never refund
+// privacy loss).
+func (d *Device) LoadBudgets(rd io.Reader) error {
+	var snap snapshot
+	dec := json.NewDecoder(rd)
+	if err := dec.Decode(&snap); err != nil {
+		return fmt.Errorf("core: decoding budget snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return fmt.Errorf("core: unsupported snapshot version %d", snap.Version)
+	}
+	if snap.Device != d.id {
+		return fmt.Errorf("core: snapshot for device %d, not %d", snap.Device, d.id)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, fs := range snap.Filters {
+		if fs.Consumed < 0 || fs.Capacity < 0 || fs.Consumed > fs.Capacity*(1+1e-9) {
+			return fmt.Errorf("core: corrupt filter state %+v", fs)
+		}
+		byEpoch := d.budgets[fs.Querier]
+		if byEpoch == nil {
+			byEpoch = make(map[events.Epoch]*privacy.Filter)
+			d.budgets[fs.Querier] = byEpoch
+		}
+		if existing := byEpoch[fs.Epoch]; existing != nil && existing.Consumed() > fs.Consumed {
+			return fmt.Errorf("core: snapshot would refund budget for %s epoch %d",
+				fs.Querier, fs.Epoch)
+		}
+		f := privacy.NewFilter(fs.Capacity)
+		if fs.Consumed > 0 {
+			if err := f.Consume(fs.Consumed); err != nil {
+				return fmt.Errorf("core: restoring filter state: %w", err)
+			}
+		}
+		byEpoch[fs.Epoch] = f
+	}
+	return nil
+}

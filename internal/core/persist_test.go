@@ -1,0 +1,120 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/events"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	d, db := paperDevice(t, CookieMonsterPolicy{}, 1.0)
+	if _, _, err := d.GenerateReport(paperRequest(nil)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.SaveBudgets(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh device (same ID) restores the exact filter table.
+	restored := NewDevice(7, db, 1.0, CookieMonsterPolicy{})
+	if err := restored.LoadBudgets(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range []events.Epoch{1, 2, 3, 4} {
+		if got, want := restored.Consumed(nike, e), d.Consumed(nike, e); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("epoch %d: restored %v, want %v", e, got, want)
+		}
+	}
+	// The restored device keeps budgeting from where it left off: a
+	// second identical report consumes on top of the restored state.
+	if _, _, err := restored.GenerateReport(paperRequest(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if got := restored.Consumed(nike, 2); math.Abs(got-0.014) > 1e-12 {
+		t.Fatalf("post-restore consume = %v, want 0.014", got)
+	}
+}
+
+func TestLoadRejectsWrongDevice(t *testing.T) {
+	d, db := paperDevice(t, CookieMonsterPolicy{}, 1.0)
+	d.GenerateReport(paperRequest(nil))
+	var buf bytes.Buffer
+	if err := d.SaveBudgets(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other := NewDevice(8, db, 1.0, CookieMonsterPolicy{})
+	if err := other.LoadBudgets(&buf); err == nil {
+		t.Fatal("snapshot for device 7 accepted by device 8")
+	}
+}
+
+func TestLoadRejectsBudgetRefund(t *testing.T) {
+	// Save an early (low-consumption) snapshot, consume more, then try to
+	// roll back: the load must refuse to refund privacy loss.
+	d, _ := paperDevice(t, CookieMonsterPolicy{}, 1.0)
+	d.GenerateReport(paperRequest(nil))
+	var early bytes.Buffer
+	if err := d.SaveBudgets(&early); err != nil {
+		t.Fatal(err)
+	}
+	d.GenerateReport(paperRequest(nil)) // consume more
+	if err := d.LoadBudgets(&early); err == nil {
+		t.Fatal("rollback snapshot accepted")
+	}
+}
+
+func TestLoadRejectsCorruptStates(t *testing.T) {
+	d, _ := paperDevice(t, CookieMonsterPolicy{}, 1.0)
+	cases := []string{
+		`{`, // malformed JSON
+		`{"version":99,"device":7,"capacity":1,"filters":[]}`,                                                    // bad version
+		`{"version":1,"device":7,"capacity":1,"filters":[{"querier":"x","epoch":0,"consumed":-1,"capacity":1}]}`, // negative consumed
+		`{"version":1,"device":7,"capacity":1,"filters":[{"querier":"x","epoch":0,"consumed":2,"capacity":1}]}`,  // over capacity
+	}
+	for i, raw := range cases {
+		if err := d.LoadBudgets(strings.NewReader(raw)); err == nil {
+			t.Fatalf("case %d: corrupt snapshot accepted", i)
+		}
+	}
+}
+
+func TestSaveEmptyDevice(t *testing.T) {
+	d, db := paperDevice(t, CookieMonsterPolicy{}, 1.0)
+	var buf bytes.Buffer
+	if err := d.SaveBudgets(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := NewDevice(7, db, 1.0, CookieMonsterPolicy{})
+	if err := restored.LoadBudgets(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if len(restored.Ledger()) != 0 {
+		t.Fatal("empty snapshot created filters")
+	}
+}
+
+func TestLoadPreservesExhaustion(t *testing.T) {
+	// An exhausted filter must stay exhausted across restart — otherwise
+	// crashing the browser would reset per-site budgets.
+	d, db := paperDevice(t, CookieMonsterPolicy{}, 0.007)
+	d.GenerateReport(paperRequest(nil)) // exhausts e1 and e2 exactly
+	var buf bytes.Buffer
+	if err := d.SaveBudgets(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := NewDevice(7, db, 0.007, CookieMonsterPolicy{})
+	if err := restored.LoadBudgets(&buf); err != nil {
+		t.Fatal(err)
+	}
+	_, diag, err := restored.GenerateReport(paperRequest(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diag.DeniedEpochs) != 2 {
+		t.Fatalf("restored device denied %v, want both impression epochs", diag.DeniedEpochs)
+	}
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"repro/internal/attribution"
+	"repro/internal/events"
+)
+
+// Nonce is the unique report identifier r: the device generates it at report
+// time and the aggregation service tracks it to guarantee each report is
+// consumed at most once (sensitivity control, §2.2).
+type Nonce uint64
+
+var nonceCounter atomic.Uint64
+
+// newNonce mints a process-unique nonce. A deployment would use a random
+// 128-bit value; uniqueness is the only property the protocol needs.
+func newNonce() Nonce { return Nonce(nonceCounter.Add(1)) }
+
+// Report is the attribution report ρ a device returns for a conversion. In a
+// deployment the histogram and bias flag are secret-shared/encrypted toward
+// the MPC/TEE with (Nonce, Epsilon, QuerySensitivity) as authenticated data;
+// the simulator carries them in the clear but the aggregation service is the
+// only component that reads the payload.
+type Report struct {
+	// Nonce uniquely identifies the report for replay protection.
+	Nonce Nonce
+	// Querier is the site the report is destined for.
+	Querier events.Site
+	// Device records the generating device (used only by simulator
+	// metrics; a deployment does not transmit it).
+	Device events.DeviceID
+	// Histogram is the clipped, padded attribution output.
+	Histogram attribution.Histogram
+	// BiasFlag is the κ-scaled side-query coordinate (0 when bias
+	// measurement is disabled or the report cannot be biased).
+	BiasFlag float64
+	// Epsilon echoes the requested ε as authenticated data; the
+	// aggregation service enforces exactly this parameter.
+	Epsilon float64
+	// QuerySensitivity echoes the query global sensitivity as
+	// authenticated data for noise scaling.
+	QuerySensitivity float64
+}
+
+// Diagnostics is simulator-side instrumentation emitted next to each report.
+// None of it is visible to queriers (budget states must stay hidden under
+// IDP); experiments use it to compute ground truth and budget metrics.
+type Diagnostics struct {
+	// TrueHistogram is the attribution output had no epoch been denied —
+	// the contribution to the unbiased Q(D) that RMSRE is measured
+	// against.
+	TrueHistogram attribution.Histogram
+	// PerEpochLoss maps each window epoch to the privacy loss actually
+	// consumed from it (0 for zero-loss and denied epochs).
+	PerEpochLoss map[events.Epoch]float64
+	// DeniedEpochs lists epochs whose filter rejected the loss; their
+	// events were dropped from attribution.
+	DeniedEpochs []events.Epoch
+	// RelevantPerEpoch counts relevant events found per window epoch
+	// (pre-denial).
+	RelevantPerEpoch map[events.Epoch]int
+	// Biased reports whether the generated report differs from the true
+	// one because of denied epochs.
+	Biased bool
+}
+
+// TotalLoss sums the privacy loss consumed across window epochs.
+func (d *Diagnostics) TotalLoss() float64 {
+	sum := 0.0
+	for _, l := range d.PerEpochLoss {
+		sum += l
+	}
+	return sum
+}

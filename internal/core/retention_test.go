@@ -1,0 +1,122 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/events"
+)
+
+func TestSetEpochFloorReleasesFilters(t *testing.T) {
+	d, _ := paperDevice(t, CookieMonsterPolicy{}, 1.0)
+	if _, _, err := d.GenerateReport(paperRequest(nil)); err != nil {
+		t.Fatal(err)
+	}
+	// Filters exist for epochs 1 and 2 (the impression epochs).
+	if len(d.Ledger()) == 0 {
+		t.Fatal("no filters before eviction")
+	}
+	released := d.SetEpochFloor(3)
+	if released != 2 {
+		t.Fatalf("released %d filters, want 2", released)
+	}
+	if d.EpochFloor() != 3 {
+		t.Fatalf("floor = %d", d.EpochFloor())
+	}
+	for _, row := range d.Ledger() {
+		if row.Epoch < 3 {
+			t.Fatalf("evicted epoch %d still in ledger", row.Epoch)
+		}
+	}
+}
+
+func TestEvictedEpochsContributeNothing(t *testing.T) {
+	d, _ := paperDevice(t, CookieMonsterPolicy{}, 1.0)
+	d.SetEpochFloor(3) // epochs 1 and 2 (both impressions) evicted
+	rep, diag, err := d.GenerateReport(paperRequest(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both impressions are out of scope: null report, zero charges.
+	if !rep.Histogram.IsZero() {
+		t.Fatalf("evicted epochs leaked into report: %v", rep.Histogram)
+	}
+	if diag.TotalLoss() != 0 {
+		t.Fatalf("evicted epochs charged %v", diag.TotalLoss())
+	}
+	if d.Consumed(nike, 1) != 0 || d.Consumed(nike, 2) != 0 {
+		t.Fatal("evicted epochs recreated filters")
+	}
+}
+
+func TestEvictionNeverRefundsBudget(t *testing.T) {
+	// Exhaust epoch 2, evict it, then query again: the epoch must stay
+	// inaccessible rather than coming back with a fresh filter.
+	d, _ := paperDevice(t, CookieMonsterPolicy{}, 0.007)
+	if _, _, err := d.GenerateReport(paperRequest(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Consumed(nike, 1); math.Abs(got-0.007) > 1e-12 {
+		t.Fatalf("pre-eviction consumption = %v", got)
+	}
+	d.SetEpochFloor(2) // evict epoch 1
+	_, diag, err := d.GenerateReport(paperRequest(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Epoch 1 contributes nothing and is never recharged.
+	if diag.PerEpochLoss[1] != 0 {
+		t.Fatalf("evicted epoch charged %v", diag.PerEpochLoss[1])
+	}
+	if d.Consumed(nike, 1) != 0 {
+		t.Fatal("evicted epoch has a filter again")
+	}
+}
+
+func TestFloorNeverMovesBackwards(t *testing.T) {
+	d, _ := paperDevice(t, CookieMonsterPolicy{}, 1.0)
+	d.SetEpochFloor(5)
+	if released := d.SetEpochFloor(3); released != 0 {
+		t.Fatal("lowering the floor released filters")
+	}
+	if d.EpochFloor() != 5 {
+		t.Fatalf("floor moved backwards to %d", d.EpochFloor())
+	}
+}
+
+func TestPartialEvictionKeepsLaterEpochs(t *testing.T) {
+	d, _ := paperDevice(t, CookieMonsterPolicy{}, 1.0)
+	d.SetEpochFloor(2) // evict only epoch 1
+	rep, diag, err := d.GenerateReport(paperRequest(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// I₂ (epoch 2) still attributes; only e1 is gone.
+	if rep.Histogram[0] != 70 {
+		t.Fatalf("report = %v, want I₂ attribution", rep.Histogram)
+	}
+	if diag.PerEpochLoss[2] == 0 {
+		t.Fatal("surviving epoch paid nothing")
+	}
+	if diag.PerEpochLoss[1] != 0 {
+		t.Fatal("evicted epoch paid")
+	}
+}
+
+func TestEvictionAppliesToAllQueriers(t *testing.T) {
+	d, _ := paperDevice(t, CookieMonsterPolicy{}, 1.0)
+	req := paperRequest(nil)
+	if _, _, err := d.GenerateReport(req); err != nil {
+		t.Fatal(err)
+	}
+	other := *req
+	other.Querier = "criteo.com"
+	other.Selector = events.NewCampaignSelector(nike, "shoes")
+	if _, _, err := d.GenerateReport(&other); err != nil {
+		t.Fatal(err)
+	}
+	released := d.SetEpochFloor(5)
+	if released != 4 { // 2 epochs × 2 queriers
+		t.Fatalf("released %d, want 4", released)
+	}
+}

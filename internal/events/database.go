@@ -1,0 +1,162 @@
+package events
+
+import "sort"
+
+// DeviceEpoch is a device-epoch record x = (d, e, F): the events F logged on
+// device d during epoch e. Events are kept sorted by (Day, ID) so that
+// recency-based attribution logics are deterministic.
+type DeviceEpoch struct {
+	Device DeviceID
+	Epoch  Epoch
+	Events []Event
+}
+
+// Database is the paper's database D: a set of device-epoch records in
+// which each (device, epoch) pair appears at most once. It is the
+// simulator's stand-in for the union of all on-device event stores; the
+// on-device engine only ever reads its own device's rows, preserving the
+// paper's trust model.
+type Database struct {
+	devices map[DeviceID]*deviceStore
+	nextID  EventID
+}
+
+type deviceStore struct {
+	epochs map[Epoch][]Event
+}
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database {
+	return &Database{devices: make(map[DeviceID]*deviceStore)}
+}
+
+// NextEventID mints a fresh unique event identifier.
+func (db *Database) NextEventID() EventID {
+	db.nextID++
+	return db.nextID
+}
+
+// Record appends an event to the device-epoch record for (ev.Device, epoch).
+// Events within an epoch are kept in (Day, ID) order; Record preserves the
+// invariant with an insertion step that is O(1) for the common append-at-end
+// case (datasets are generated in time order).
+func (db *Database) Record(epoch Epoch, ev Event) {
+	ds := db.devices[ev.Device]
+	if ds == nil {
+		ds = &deviceStore{epochs: make(map[Epoch][]Event)}
+		db.devices[ev.Device] = ds
+	}
+	evs := ds.epochs[epoch]
+	evs = append(evs, ev)
+	// Restore ordering if the new event is out of order.
+	for i := len(evs) - 1; i > 0 && evs[i].Before(evs[i-1]); i-- {
+		evs[i], evs[i-1] = evs[i-1], evs[i]
+	}
+	ds.epochs[epoch] = evs
+}
+
+// EpochEvents returns the events of device d at epoch e (the paper's D^e_d),
+// or nil when the device-epoch is empty. The returned slice is shared;
+// callers must not modify it.
+func (db *Database) EpochEvents(d DeviceID, e Epoch) []Event {
+	ds := db.devices[d]
+	if ds == nil {
+		return nil
+	}
+	return ds.epochs[e]
+}
+
+// WindowEvents returns the per-epoch event sets of device d over the epoch
+// window [first, last] (the paper's D^E_d), indexed by position in the
+// window. Empty epochs yield nil entries; the result always has
+// last-first+1 entries so callers can align it with EpochsIn(first, last).
+func (db *Database) WindowEvents(d DeviceID, first, last Epoch) [][]Event {
+	if last < first {
+		return nil
+	}
+	out := make([][]Event, int(last-first)+1)
+	ds := db.devices[d]
+	if ds == nil {
+		return out
+	}
+	for e := first; e <= last; e++ {
+		out[e-first] = ds.epochs[e]
+	}
+	return out
+}
+
+// Devices returns all device IDs present in the database, in ascending
+// order (deterministic iteration for experiments).
+func (db *Database) Devices() []DeviceID {
+	out := make([]DeviceID, 0, len(db.devices))
+	for d := range db.devices {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// DeviceEpochs returns the populated epochs of a device in ascending order.
+func (db *Database) DeviceEpochs(d DeviceID) []Epoch {
+	ds := db.devices[d]
+	if ds == nil {
+		return nil
+	}
+	out := make([]Epoch, 0, len(ds.epochs))
+	for e := range ds.epochs {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NumDevices returns the number of devices with at least one event.
+func (db *Database) NumDevices() int { return len(db.devices) }
+
+// NumRecords returns the number of non-empty device-epoch records |D|.
+func (db *Database) NumRecords() int {
+	n := 0
+	for _, ds := range db.devices {
+		n += len(ds.epochs)
+	}
+	return n
+}
+
+// NumEvents returns the total number of events stored.
+func (db *Database) NumEvents() int {
+	n := 0
+	for _, ds := range db.devices {
+		for _, evs := range ds.epochs {
+			n += len(evs)
+		}
+	}
+	return n
+}
+
+// ForEachConversion visits every conversion event in deterministic order
+// (by device, then epoch, then event order). Workload drivers use it to
+// replay conversions as attribution triggers.
+func (db *Database) ForEachConversion(visit func(epoch Epoch, conv Event)) {
+	for _, d := range db.Devices() {
+		ds := db.devices[d]
+		for _, e := range db.DeviceEpochs(d) {
+			for _, ev := range ds.epochs[e] {
+				if ev.IsConversion() {
+					visit(e, ev)
+				}
+			}
+		}
+	}
+}
+
+// Conversions returns all conversion events in deterministic global time
+// order (by Day, then ID). This is the order in which advertisers observe
+// them and request attribution reports.
+func (db *Database) Conversions() []Event {
+	var out []Event
+	db.ForEachConversion(func(_ Epoch, conv Event) {
+		out = append(out, conv)
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Before(out[j]) })
+	return out
+}

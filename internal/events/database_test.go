@@ -1,0 +1,167 @@
+package events
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func imp(id EventID, d DeviceID, day int, adv Site) Event {
+	return Event{ID: id, Kind: KindImpression, Device: d, Day: day, Advertiser: adv, Publisher: "pub.example"}
+}
+
+func conv(id EventID, d DeviceID, day int, adv Site, value float64) Event {
+	return Event{ID: id, Kind: KindConversion, Device: d, Day: day, Advertiser: adv, Value: value}
+}
+
+func TestDatabaseEmpty(t *testing.T) {
+	db := NewDatabase()
+	if db.NumDevices() != 0 || db.NumRecords() != 0 || db.NumEvents() != 0 {
+		t.Fatal("fresh database not empty")
+	}
+	if db.EpochEvents(1, 0) != nil {
+		t.Fatal("missing device-epoch should be nil")
+	}
+	if db.DeviceEpochs(1) != nil {
+		t.Fatal("missing device epochs should be nil")
+	}
+}
+
+func TestRecordAndLookup(t *testing.T) {
+	db := NewDatabase()
+	db.Record(0, imp(1, 7, 0, "nike.com"))
+	db.Record(0, imp(2, 7, 1, "nike.com"))
+	db.Record(1, conv(3, 7, 8, "nike.com", 70))
+	if db.NumDevices() != 1 || db.NumRecords() != 2 || db.NumEvents() != 3 {
+		t.Fatalf("counts: devices=%d records=%d events=%d",
+			db.NumDevices(), db.NumRecords(), db.NumEvents())
+	}
+	e0 := db.EpochEvents(7, 0)
+	if len(e0) != 2 || e0[0].ID != 1 || e0[1].ID != 2 {
+		t.Fatalf("epoch 0 events = %v", e0)
+	}
+	if got := db.EpochEvents(7, 2); got != nil {
+		t.Fatalf("empty epoch returned %v", got)
+	}
+}
+
+func TestRecordKeepsOrder(t *testing.T) {
+	db := NewDatabase()
+	// Insert out of order; DB must keep (Day, ID) order.
+	db.Record(0, imp(5, 1, 9, "a"))
+	db.Record(0, imp(2, 1, 3, "a"))
+	db.Record(0, imp(9, 1, 3, "a"))
+	evs := db.EpochEvents(1, 0)
+	if len(evs) != 3 || evs[0].ID != 2 || evs[1].ID != 9 || evs[2].ID != 5 {
+		t.Fatalf("events not sorted: %v", evs)
+	}
+}
+
+func TestWindowEvents(t *testing.T) {
+	db := NewDatabase()
+	db.Record(1, imp(1, 4, 8, "a"))
+	db.Record(3, imp(2, 4, 22, "a"))
+	w := db.WindowEvents(4, 0, 3)
+	if len(w) != 4 {
+		t.Fatalf("window length %d", len(w))
+	}
+	if w[0] != nil || w[2] != nil {
+		t.Fatal("empty epochs should be nil")
+	}
+	if len(w[1]) != 1 || w[1][0].ID != 1 {
+		t.Fatalf("epoch 1 = %v", w[1])
+	}
+	if len(w[3]) != 1 || w[3][0].ID != 2 {
+		t.Fatalf("epoch 3 = %v", w[3])
+	}
+	// Unknown device: all nil but correct length.
+	w = db.WindowEvents(99, 0, 2)
+	if len(w) != 3 || w[0] != nil || w[1] != nil || w[2] != nil {
+		t.Fatalf("unknown device window = %v", w)
+	}
+	if db.WindowEvents(4, 3, 1) != nil {
+		t.Fatal("inverted window should be nil")
+	}
+}
+
+func TestDevicesSorted(t *testing.T) {
+	db := NewDatabase()
+	for _, d := range []DeviceID{5, 1, 9, 3} {
+		db.Record(0, imp(EventID(d), d, 0, "a"))
+	}
+	ds := db.Devices()
+	for i := 1; i < len(ds); i++ {
+		if ds[i-1] >= ds[i] {
+			t.Fatalf("devices not sorted: %v", ds)
+		}
+	}
+}
+
+func TestDeviceEpochsSorted(t *testing.T) {
+	db := NewDatabase()
+	for _, e := range []Epoch{4, 0, 2} {
+		db.Record(e, imp(EventID(e+1), 1, int(e)*7, "a"))
+	}
+	es := db.DeviceEpochs(1)
+	if len(es) != 3 || es[0] != 0 || es[1] != 2 || es[2] != 4 {
+		t.Fatalf("epochs = %v", es)
+	}
+}
+
+func TestNextEventIDUnique(t *testing.T) {
+	db := NewDatabase()
+	seen := map[EventID]bool{}
+	for i := 0; i < 1000; i++ {
+		id := db.NextEventID()
+		if seen[id] {
+			t.Fatalf("duplicate event ID %d", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestForEachConversionVisitsOnlyConversions(t *testing.T) {
+	db := NewDatabase()
+	db.Record(0, imp(1, 1, 0, "a"))
+	db.Record(0, conv(2, 1, 1, "a", 10))
+	db.Record(1, conv(3, 2, 8, "b", 20))
+	var got []EventID
+	db.ForEachConversion(func(_ Epoch, c Event) {
+		if !c.IsConversion() {
+			t.Fatalf("visited non-conversion %v", c)
+		}
+		got = append(got, c.ID)
+	})
+	if len(got) != 2 {
+		t.Fatalf("visited %v", got)
+	}
+}
+
+func TestConversionsGlobalTimeOrder(t *testing.T) {
+	db := NewDatabase()
+	db.Record(1, conv(10, 5, 9, "a", 1))
+	db.Record(0, conv(11, 9, 2, "a", 1))
+	db.Record(0, conv(12, 1, 5, "a", 1))
+	cs := db.Conversions()
+	if len(cs) != 3 || cs[0].ID != 11 || cs[1].ID != 12 || cs[2].ID != 10 {
+		t.Fatalf("conversions order = %v", cs)
+	}
+}
+
+func TestRecordOrderInvariantQuick(t *testing.T) {
+	f := func(days []uint8) bool {
+		db := NewDatabase()
+		for i, d := range days {
+			db.Record(0, imp(EventID(i+1), 1, int(d), "a"))
+		}
+		evs := db.EpochEvents(1, 0)
+		for i := 1; i < len(evs); i++ {
+			if evs[i].Before(evs[i-1]) {
+				return false
+			}
+		}
+		return len(evs) == len(days)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,107 @@
+// Package mlattr implements the Appendix A ad-tech extension: the
+// multi-advertiser *optimization* query, where a first-party ad platform
+// (the Meta perspective) trains a conversion-prediction model from
+// attribution reports. Features X_d are public to the platform (on-site
+// behaviour of logged-in users); conversion labels live on other sites and
+// are private. Following Appendix A, the attribution function returns a
+// per-example logistic-regression gradient computed on-device from the
+// public features and the private label, and the trusted aggregation
+// service releases only noisy gradient sums — label-DP model fitting on top
+// of the unchanged Cookie Monster budgeting engine.
+//
+// The IDP optimizations carry over: an epoch holding no relevant conversion
+// leaves the gradient at its label-0 value, a function of public data only,
+// so its individual sensitivity — and privacy loss — is zero.
+package mlattr
+
+import (
+	"math"
+
+	"repro/internal/attribution"
+	"repro/internal/events"
+)
+
+// sigmoid is the logistic function.
+func sigmoid(z float64) float64 { return 1 / (1 + math.Exp(-z)) }
+
+// dot returns wᵀx. It panics on dimension mismatch.
+func dot(w, x []float64) float64 {
+	if len(w) != len(x) {
+		panic("mlattr: dimension mismatch")
+	}
+	s := 0.0
+	for i := range w {
+		s += w[i] * x[i]
+	}
+	return s
+}
+
+// GradientFunction is the attribution function of the optimization query:
+// given the device's (public) feature vector and the current model weights,
+// it emits the logistic-loss gradient (σ(wᵀx) − y)·x, where the label
+// y ∈ {0, 1} is 1 exactly when a relevant (private) conversion exists in the
+// attribution window.
+type GradientFunction struct {
+	// Weights is the current model iterate (baked in per training step).
+	Weights []float64
+	// Features is the device's public feature vector x_d.
+	Features []float64
+}
+
+// Attribute implements attribution.Function. Only the label depends on the
+// device's private events; with y = 0 the output equals A(∅), so epochs
+// without relevant conversions have zero individual sensitivity (Thm. 4
+// case 1) and cost no budget under Cookie Monster.
+func (g GradientFunction) Attribute(epochs [][]events.Event) attribution.Histogram {
+	y := 0.0
+	for _, evs := range epochs {
+		if len(evs) > 0 {
+			y = 1
+			break
+		}
+	}
+	p := sigmoid(dot(g.Weights, g.Features))
+	h := attribution.NewHistogram(len(g.Features))
+	for i, x := range g.Features {
+		h[i] = (p - y) * x
+	}
+	return h
+}
+
+// OutputDim implements attribution.Function.
+func (g GradientFunction) OutputDim() int { return len(g.Features) }
+
+// GradientSensitivity returns the report global sensitivity of the gradient
+// function: flipping the label changes the output by exactly ‖x‖₁ in L1
+// (the |p−y| factor moves by at most 1), so Δ(ρ) = ‖x‖₁, capped by the
+// feature clip featureCap the platform enforces on all devices.
+func GradientSensitivity(features []float64, featureCap float64) float64 {
+	h := attribution.Histogram(features)
+	norm := h.L1()
+	if norm > featureCap {
+		return featureCap
+	}
+	return norm
+}
+
+// ConversionLabelSelector marks the private label events: conversions on
+// any of the given advertiser sites. For a publisher-side querier this keeps
+// F_A ∩ P = ∅ (its public events are impressions), the condition for the
+// tight Thm. 1 guarantee.
+type ConversionLabelSelector struct {
+	Advertisers map[events.Site]bool
+}
+
+// NewConversionLabelSelector builds a selector over the listed advertisers.
+func NewConversionLabelSelector(sites ...events.Site) ConversionLabelSelector {
+	m := make(map[events.Site]bool, len(sites))
+	for _, s := range sites {
+		m[s] = true
+	}
+	return ConversionLabelSelector{Advertisers: m}
+}
+
+// Relevant implements events.Selector.
+func (s ConversionLabelSelector) Relevant(ev events.Event) bool {
+	return ev.IsConversion() && s.Advertisers[ev.Advertiser]
+}

@@ -1,0 +1,71 @@
+package privacy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEpsilonFormula(t *testing.T) {
+	// ε = Δ·ln(1/β)/(α·B·c̃)
+	c := Calibration{Alpha: 0.05, Beta: 0.01}
+	got := c.Epsilon(100, 2000, 5)
+	want := 100 * math.Log(100) / (0.05 * 2000 * 5)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Epsilon = %v, want %v", got, want)
+	}
+}
+
+func TestEpsilonScalesInverselyWithBatch(t *testing.T) {
+	c := DefaultCalibration
+	e1 := c.Epsilon(100, 1000, 5)
+	e2 := c.Epsilon(100, 2000, 5)
+	if math.Abs(e1/e2-2) > 1e-9 {
+		t.Fatalf("doubling batch should halve epsilon: %v vs %v", e1, e2)
+	}
+}
+
+func TestEpsilonPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func()
+	}{
+		{"zero delta", func() { DefaultCalibration.Epsilon(0, 100, 1) }},
+		{"zero batch", func() { DefaultCalibration.Epsilon(1, 0, 1) }},
+		{"zero avg", func() { DefaultCalibration.Epsilon(1, 100, 0) }},
+		{"bad alpha", func() { (Calibration{Alpha: 0, Beta: 0.1}).Epsilon(1, 1, 1) }},
+		{"bad beta", func() { (Calibration{Alpha: 0.1, Beta: 1}).Epsilon(1, 1, 1) }},
+	}
+	for _, tc := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", tc.name)
+				}
+			}()
+			tc.f()
+		}()
+	}
+}
+
+func TestCalibratedRMSRETarget(t *testing.T) {
+	// With the calibrated ε and a batch whose true total is B·c̃, the
+	// Laplace RMSRE is √2·α/ln(1/β) ≈ 0.0154 — the paper's "roughly 0.02
+	// RMSRE" (§6.1).
+	c := DefaultCalibration
+	const delta, batch, avg = 100.0, 2000, 5.0
+	eps := c.Epsilon(delta, batch, avg)
+	rmsre := ExpectedRMSRE(delta, eps, batch*avg)
+	want := math.Sqrt2 * c.Alpha / math.Log(1/c.Beta)
+	if math.Abs(rmsre-want) > 1e-12 {
+		t.Fatalf("RMSRE = %v, want %v", rmsre, want)
+	}
+	if rmsre > 0.02 {
+		t.Fatalf("calibrated RMSRE %v exceeds the paper's 0.02 mark", rmsre)
+	}
+}
+
+func TestExpectedRMSREZeroTotal(t *testing.T) {
+	if !math.IsInf(ExpectedRMSRE(1, 1, 0), 1) {
+		t.Fatal("zero-total RMSRE should be +Inf")
+	}
+}

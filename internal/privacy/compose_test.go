@@ -1,0 +1,81 @@
+package privacy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestIndividualDPBound(t *testing.T) {
+	if IndividualDPBound(1.0, true) != 1.0 {
+		t.Fatal("constrained bound should be ε^G")
+	}
+	if IndividualDPBound(1.0, false) != 2.0 {
+		t.Fatal("general bound should be 2ε^G")
+	}
+}
+
+func TestUnlinkabilityBound(t *testing.T) {
+	// Thm. 2: 2ε_{d0} + ε_{d1}.
+	if got := UnlinkabilityBound(1.0, 0.5); got != 2.5 {
+		t.Fatalf("UnlinkabilityBound = %v", got)
+	}
+	// Symmetric budgets: 3ε.
+	if got := UnlinkabilityBound(1, 1); got != 3 {
+		t.Fatalf("UnlinkabilityBound = %v", got)
+	}
+}
+
+func TestCollusionBound(t *testing.T) {
+	eps := []float64{0.5, 1.0, 0.25}
+	if got := CollusionBound(eps, false); got != 3.5 {
+		t.Fatalf("general collusion = %v", got)
+	}
+	if got := CollusionBound(eps, true); got != 1.75 {
+		t.Fatalf("constrained collusion = %v", got)
+	}
+	if CollusionBound(nil, false) != 0 {
+		t.Fatal("empty collusion not 0")
+	}
+}
+
+func TestSequentialComposition(t *testing.T) {
+	if got := SequentialComposition([]float64{0.1, 0.2, 0.3}); math.Abs(got-0.6) > 1e-12 {
+		t.Fatalf("SequentialComposition = %v", got)
+	}
+	if SequentialComposition(nil) != 0 {
+		t.Fatal("empty composition not 0")
+	}
+}
+
+// Collusion of constrained queriers is never worse than unconstrained,
+// and single-querier collusion reduces to the individual bound.
+func TestCollusionConsistencyQuick(t *testing.T) {
+	f := func(raw []float64) bool {
+		eps := make([]float64, 0, len(raw))
+		for _, e := range raw {
+			v := math.Mod(math.Abs(e), 10)
+			if math.IsNaN(v) {
+				continue
+			}
+			eps = append(eps, v)
+		}
+		gen := CollusionBound(eps, false)
+		con := CollusionBound(eps, true)
+		if con > gen {
+			return false
+		}
+		if len(eps) == 1 {
+			if con != IndividualDPBound(eps[0], true) {
+				return false
+			}
+			if gen != IndividualDPBound(eps[0], false) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,102 @@
+// Package privacy implements the differential-privacy primitives of the
+// paper: pure-DP privacy filters (Rogers et al., "Privacy Odometers and
+// Filters"), the Laplace mechanism, the ε-calibration rule used by the
+// evaluation's queriers (§6.1), and the composition bounds of the formal
+// analysis (unlinkability, Thm. 2; colluding queriers, Thm. 10).
+package privacy
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrBudgetExhausted is returned by Filter.Consume when admitting a query
+// would push cumulative privacy loss past the filter's capacity (the Halt
+// outcome of Eq. 3).
+var ErrBudgetExhausted = errors.New("privacy: budget exhausted")
+
+// Filter is a pure-DP privacy filter with capacity ε^G: it admits a sequence
+// of adaptively chosen privacy losses ε₁, ε₂, ... as long as their running
+// sum stays at or below the capacity, and rejects (without consuming) any
+// loss that would overflow it. Rejections leave the filter usable: a later,
+// smaller loss may still be admitted, exactly as in Eq. 3.
+//
+// Filters are safe for concurrent use. The check-and-consume step is atomic,
+// which the on-device engine relies on when several conversions race to
+// deduct from the same epoch's filter (Listing 1, step 3).
+type Filter struct {
+	mu       sync.Mutex
+	capacity float64
+	consumed float64
+}
+
+// NewFilter returns a filter with the given budget capacity ε^G.
+// It panics if capacity is negative.
+func NewFilter(capacity float64) *Filter {
+	if capacity < 0 {
+		panic("privacy: negative filter capacity")
+	}
+	return &Filter{capacity: capacity}
+}
+
+// Consume atomically checks whether eps more privacy loss fits and, if so,
+// deducts it. It returns ErrBudgetExhausted (consuming nothing) otherwise.
+// It panics on negative eps: privacy loss is never negative, and silently
+// accepting one would let callers refund budget.
+func (f *Filter) Consume(eps float64) error {
+	if eps < 0 {
+		panic("privacy: negative privacy loss")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	// Tolerate float rounding at the boundary: admitting a loss that
+	// overshoots capacity by a relative 1e-9 is treated as exact.
+	if f.consumed+eps > f.capacity*(1+1e-9) {
+		return ErrBudgetExhausted
+	}
+	f.consumed += eps
+	if f.consumed > f.capacity {
+		f.consumed = f.capacity
+	}
+	return nil
+}
+
+// CanConsume reports whether a loss of eps would currently be admitted.
+// It is advisory only; use Consume for the atomic check-and-deduct.
+func (f *Filter) CanConsume(eps float64) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return eps >= 0 && f.consumed+eps <= f.capacity*(1+1e-9)
+}
+
+// Consumed returns the cumulative privacy loss admitted so far.
+func (f *Filter) Consumed() float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.consumed
+}
+
+// Remaining returns the budget left before the filter halts.
+func (f *Filter) Remaining() float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.capacity - f.consumed
+}
+
+// Capacity returns the filter's budget capacity ε^G.
+func (f *Filter) Capacity() float64 { return f.capacity }
+
+// Exhausted reports whether no strictly positive loss can be admitted.
+func (f *Filter) Exhausted() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.consumed >= f.capacity
+}
+
+// String implements fmt.Stringer for debugging and the dashboard.
+func (f *Filter) String() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return fmt.Sprintf("filter(%.4g/%.4g)", f.consumed, f.capacity)
+}

@@ -1,0 +1,177 @@
+package privacy
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestFilterConsumeWithinCapacity(t *testing.T) {
+	f := NewFilter(1.0)
+	for i := 0; i < 10; i++ {
+		if err := f.Consume(0.1); err != nil {
+			t.Fatalf("consume %d failed: %v", i, err)
+		}
+	}
+	if got := f.Consumed(); math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("consumed = %v", got)
+	}
+	if err := f.Consume(0.01); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("overflow consume err = %v", err)
+	}
+}
+
+func TestFilterRejectDoesNotConsume(t *testing.T) {
+	f := NewFilter(1.0)
+	if err := f.Consume(0.9); err != nil {
+		t.Fatal(err)
+	}
+	// A too-large request is rejected...
+	if err := f.Consume(0.5); err == nil {
+		t.Fatal("expected rejection")
+	}
+	// ...but a smaller one still fits: rejections must not consume.
+	if err := f.Consume(0.1); err != nil {
+		t.Fatalf("post-rejection consume failed: %v", err)
+	}
+}
+
+func TestFilterZeroLossAlwaysAdmitted(t *testing.T) {
+	f := NewFilter(0)
+	for i := 0; i < 5; i++ {
+		if err := f.Consume(0); err != nil {
+			t.Fatalf("zero loss rejected: %v", err)
+		}
+	}
+	if err := f.Consume(1e-9); err == nil {
+		t.Fatal("zero-capacity filter admitted positive loss")
+	}
+}
+
+func TestFilterNegativeLossPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative loss did not panic")
+		}
+	}()
+	NewFilter(1).Consume(-0.1)
+}
+
+func TestFilterNegativeCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative capacity did not panic")
+		}
+	}()
+	NewFilter(-1)
+}
+
+func TestFilterAccessors(t *testing.T) {
+	f := NewFilter(2)
+	if f.Capacity() != 2 || f.Remaining() != 2 || f.Consumed() != 0 || f.Exhausted() {
+		t.Fatal("fresh filter accessors wrong")
+	}
+	f.Consume(0.5)
+	if f.Remaining() != 1.5 || f.Consumed() != 0.5 {
+		t.Fatal("accessors after consume wrong")
+	}
+	if !f.CanConsume(1.5) || f.CanConsume(1.6) {
+		t.Fatal("CanConsume wrong")
+	}
+	if f.CanConsume(-1) {
+		t.Fatal("CanConsume(-1) should be false")
+	}
+	f.Consume(1.5)
+	if !f.Exhausted() {
+		t.Fatal("full filter not exhausted")
+	}
+}
+
+func TestFilterString(t *testing.T) {
+	f := NewFilter(1)
+	f.Consume(0.25)
+	if got := f.String(); got != "filter(0.25/1)" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestFilterFloatBoundary(t *testing.T) {
+	// Ten consumptions of 0.1 must exactly fill a capacity-1 filter even
+	// though 0.1 is not exactly representable.
+	f := NewFilter(1)
+	for i := 0; i < 10; i++ {
+		if err := f.Consume(0.1); err != nil {
+			t.Fatalf("boundary consume %d rejected: %v", i, err)
+		}
+	}
+	if f.Remaining() < 0 {
+		t.Fatalf("remaining went negative: %v", f.Remaining())
+	}
+}
+
+// The filter invariant: no interleaving of accepted consumptions exceeds
+// capacity.
+func TestFilterConcurrentNeverOverConsumes(t *testing.T) {
+	const capacity = 1.0
+	const workers = 32
+	const perWorker = 200
+	f := NewFilter(capacity)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	accepted := 0.0
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				eps := 0.001 * float64(seed%5+1)
+				if f.Consume(eps) == nil {
+					mu.Lock()
+					accepted += eps
+					mu.Unlock()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if accepted > capacity*(1+1e-6) {
+		t.Fatalf("accepted %v > capacity %v", accepted, capacity)
+	}
+	if math.Abs(accepted-f.Consumed()) > 1e-6 {
+		t.Fatalf("ledger mismatch: accepted %v, filter says %v", accepted, f.Consumed())
+	}
+}
+
+// Property: for any sequence of non-negative losses, the filter admits a
+// prefix-closed subset whose sum never exceeds capacity, and admits any loss
+// that fits.
+func TestFilterSequentialCompositionQuick(t *testing.T) {
+	f := func(rawLosses []float64, rawCap float64) bool {
+		capacity := math.Mod(math.Abs(rawCap), 10)
+		if math.IsNaN(capacity) {
+			return true
+		}
+		fil := NewFilter(capacity)
+		var admitted []float64
+		for _, rl := range rawLosses {
+			loss := math.Mod(math.Abs(rl), 1)
+			if math.IsNaN(loss) {
+				continue
+			}
+			fits := SequentialComposition(admitted)+loss <= capacity*(1+1e-9)
+			err := fil.Consume(loss)
+			if fits && err != nil {
+				return false // fitting loss was rejected
+			}
+			if err == nil {
+				admitted = append(admitted, loss)
+			}
+		}
+		return SequentialComposition(admitted) <= capacity*(1+1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

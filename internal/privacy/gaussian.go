@@ -1,0 +1,65 @@
+package privacy
+
+import (
+	"math"
+
+	"repro/internal/stats"
+)
+
+// GaussianMechanism is the L2-sensitivity counterpart of the Laplace
+// mechanism, supporting the paper's p-norm generalization (§3.3: "2-norm for
+// Gaussian"). The classic analytic calibration σ = Δ₂·√(2·ln(1.25/δ))/ε
+// yields (ε, δ)-DP for ε ≤ 1. The paper's DP theorem (Thm. 1) is stated for
+// pure DP with Laplace noise; the Gaussian path exists so deployments that
+// aggregate with Gaussian noise (as some ARA configurations do) can reuse
+// the same budgeting engine with PNorm = 2 — the on-device accounting via
+// Eq. 4 (ε_x = Δ_x·√2/σ) carries over with Δ_x measured in L2.
+type GaussianMechanism struct {
+	rng *stats.RNG
+}
+
+// NewGaussianMechanism returns a mechanism drawing noise from rng.
+func NewGaussianMechanism(rng *stats.RNG) *GaussianMechanism {
+	return &GaussianMechanism{rng: rng}
+}
+
+// GaussianSigma returns the noise standard deviation for a query of L2
+// sensitivity delta at (eps, delta')-DP: σ = Δ₂·√(2·ln(1.25/δ'))/ε.
+// It panics on non-positive eps, negative delta, or delta' outside (0, 1).
+func GaussianSigma(delta, eps, deltaPrime float64) float64 {
+	if eps <= 0 {
+		panic("privacy: non-positive epsilon")
+	}
+	if delta < 0 {
+		panic("privacy: negative sensitivity")
+	}
+	if deltaPrime <= 0 || deltaPrime >= 1 {
+		panic("privacy: delta' outside (0,1)")
+	}
+	return delta * math.Sqrt(2*math.Log(1.25/deltaPrime)) / eps
+}
+
+// Perturb adds independent Gaussian noise of standard deviation sigma to
+// every coordinate of sum, in place, and returns sum.
+func (m *GaussianMechanism) Perturb(sum []float64, sigma float64) []float64 {
+	if sigma < 0 {
+		panic("privacy: negative sigma")
+	}
+	for i := range sum {
+		sum[i] += m.rng.Normal(0, sigma)
+	}
+	return sum
+}
+
+// GaussianTailBound returns t such that one Gaussian noise coordinate
+// exceeds |t| with probability at most beta: t = σ·√(2·ln(1/β))
+// (sub-Gaussian tail; slightly loose but simple).
+func GaussianTailBound(sigma, beta float64) float64 {
+	if beta <= 0 || beta >= 1 {
+		panic("privacy: beta outside (0,1)")
+	}
+	if sigma < 0 {
+		panic("privacy: negative sigma")
+	}
+	return sigma * math.Sqrt(2*math.Log(1/beta))
+}

@@ -1,0 +1,126 @@
+package privacy
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestGaussianSigmaFormula(t *testing.T) {
+	// σ = Δ·√(2·ln(1.25/δ))/ε
+	got := GaussianSigma(2, 0.5, 1e-5)
+	want := 2 * math.Sqrt(2*math.Log(1.25/1e-5)) / 0.5
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("sigma = %v, want %v", got, want)
+	}
+}
+
+func TestGaussianSigmaPanics(t *testing.T) {
+	cases := []func(){
+		func() { GaussianSigma(1, 0, 1e-5) },
+		func() { GaussianSigma(-1, 1, 1e-5) },
+		func() { GaussianSigma(1, 1, 0) },
+		func() { GaussianSigma(1, 1, 1) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestGaussianPerturbMoments(t *testing.T) {
+	m := NewGaussianMechanism(stats.NewRNG(1))
+	const sigma = 3.0
+	const n = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := m.Perturb([]float64{0}, sigma)
+		sum += v[0]
+		sumSq += v[0] * v[0]
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.05 {
+		t.Fatalf("noise mean %v", mean)
+	}
+	if want := sigma * sigma; math.Abs(variance-want)/want > 0.03 {
+		t.Fatalf("noise variance %v, want ~%v", variance, want)
+	}
+}
+
+func TestGaussianPerturbZeroSigma(t *testing.T) {
+	m := NewGaussianMechanism(stats.NewRNG(2))
+	v := m.Perturb([]float64{5}, 0)
+	if v[0] != 5 {
+		t.Fatalf("zero-sigma perturb changed value: %v", v[0])
+	}
+}
+
+func TestGaussianPerturbNegativeSigmaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative sigma did not panic")
+		}
+	}()
+	NewGaussianMechanism(stats.NewRNG(3)).Perturb([]float64{1}, -1)
+}
+
+func TestGaussianTailBoundEmpirical(t *testing.T) {
+	rng := stats.NewRNG(4)
+	const sigma, beta = 1.0, 0.01
+	bound := GaussianTailBound(sigma, beta)
+	const n = 200000
+	exceed := 0
+	for i := 0; i < n; i++ {
+		if math.Abs(rng.Normal(0, sigma)) > bound {
+			exceed++
+		}
+	}
+	// The sub-Gaussian bound is conservative: observed tail ≤ β.
+	if frac := float64(exceed) / n; frac > beta*1.5 {
+		t.Fatalf("tail fraction %v > 1.5β", frac)
+	}
+}
+
+func TestGaussianTailBoundPanics(t *testing.T) {
+	for _, beta := range []float64{0, 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("beta=%v did not panic", beta)
+				}
+			}()
+			GaussianTailBound(1, beta)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("negative sigma did not panic")
+			}
+		}()
+		GaussianTailBound(-1, 0.5)
+	}()
+}
+
+func TestGaussianBeatsLaplaceInHighDimensions(t *testing.T) {
+	// The reason the p-norm generality matters: for an m-dimensional
+	// histogram with per-coordinate contributions, Δ₁ = m·a but
+	// Δ₂ = √m·a, so Gaussian noise per coordinate grows as √m rather
+	// than m.
+	const m = 64
+	const a = 1.0
+	laplacePerCoord := Scale(m*a, 1.0) // Δ₁/ε
+	gaussPerCoord := GaussianSigma(math.Sqrt(m)*a, 1.0, 1e-9)
+	if gaussPerCoord >= laplacePerCoord {
+		t.Fatalf("Gaussian (%v) should beat Laplace (%v) at m=%d",
+			gaussPerCoord, laplacePerCoord, m)
+	}
+}

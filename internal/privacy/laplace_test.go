@@ -1,0 +1,150 @@
+package privacy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func TestScale(t *testing.T) {
+	if got := Scale(100, 2); got != 50 {
+		t.Fatalf("Scale = %v", got)
+	}
+	if got := Scale(0, 1); got != 0 {
+		t.Fatalf("Scale(0,1) = %v", got)
+	}
+}
+
+func TestScalePanics(t *testing.T) {
+	for _, tc := range []struct{ d, e float64 }{{1, 0}, {1, -1}, {-1, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Scale(%v, %v) did not panic", tc.d, tc.e)
+				}
+			}()
+			Scale(tc.d, tc.e)
+		}()
+	}
+}
+
+func TestEpsilonStdDevRoundTrip(t *testing.T) {
+	// ε → σ → ε must be the identity (Eq. 4 consistency).
+	for _, eps := range []float64{0.01, 0.5, 1, 3} {
+		for _, delta := range []float64{1, 70, 100} {
+			sigma := NoiseStdDev(delta, eps)
+			back := EpsilonForStdDev(delta, sigma)
+			if math.Abs(back-eps)/eps > 1e-12 {
+				t.Fatalf("round trip eps=%v delta=%v gave %v", eps, delta, back)
+			}
+		}
+	}
+}
+
+func TestEpsilonForStdDevScalesWithSensitivity(t *testing.T) {
+	// The §3.2 example: with query sensitivity 100 and report sensitivity
+	// 70, the device pays 70/100 of ε.
+	const eps = 0.01
+	sigma := NoiseStdDev(100, eps)
+	paid := EpsilonForStdDev(70, sigma)
+	if want := eps * 70.0 / 100.0; math.Abs(paid-want) > 1e-15 {
+		t.Fatalf("paid %v, want %v", paid, want)
+	}
+}
+
+func TestEpsilonForStdDevPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive sigma did not panic")
+		}
+	}()
+	EpsilonForStdDev(1, 0)
+}
+
+func TestPerturbChangesAndPreservesLength(t *testing.T) {
+	m := NewLaplaceMechanism(stats.NewRNG(1))
+	in := []float64{10, 20, 30}
+	out := m.Perturb(in, 1, 1)
+	if len(out) != 3 {
+		t.Fatalf("length changed: %v", out)
+	}
+	if out[0] == 10 && out[1] == 20 && out[2] == 30 {
+		t.Fatal("no noise was added")
+	}
+}
+
+func TestPerturbIsCalibratedDP(t *testing.T) {
+	// Empirically verify the noise magnitude matches Δ/ε: the mean
+	// absolute noise of Laplace(b) is b.
+	m := NewLaplaceMechanism(stats.NewRNG(2))
+	const delta, eps = 100.0, 0.5
+	const n = 100000
+	sumAbs := 0.0
+	for i := 0; i < n; i++ {
+		v := m.Perturb([]float64{0}, delta, eps)
+		sumAbs += math.Abs(v[0])
+	}
+	got := sumAbs / n
+	want := delta / eps
+	if math.Abs(got-want)/want > 0.03 {
+		t.Fatalf("mean |noise| = %v, want ~%v", got, want)
+	}
+}
+
+func TestTailBound(t *testing.T) {
+	// β=1/e gives exactly b.
+	b := TailBound(2, 1, 1/math.E)
+	if math.Abs(b-2) > 1e-12 {
+		t.Fatalf("TailBound = %v", b)
+	}
+}
+
+func TestTailBoundEmpirical(t *testing.T) {
+	rng := stats.NewRNG(3)
+	const delta, eps, beta = 1.0, 1.0, 0.05
+	bound := TailBound(delta, eps, beta)
+	const n = 100000
+	exceed := 0
+	for i := 0; i < n; i++ {
+		if math.Abs(rng.Laplace(Scale(delta, eps))) > bound {
+			exceed++
+		}
+	}
+	if frac := float64(exceed) / n; frac > 1.5*beta {
+		t.Fatalf("tail fraction %v > 1.5β", frac)
+	}
+}
+
+func TestTailBoundPanics(t *testing.T) {
+	for _, beta := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("TailBound beta=%v did not panic", beta)
+				}
+			}()
+			TailBound(1, 1, beta)
+		}()
+	}
+}
+
+func TestNoiseStdDevMonotoneQuick(t *testing.T) {
+	// Smaller ε (more privacy) must mean more noise.
+	f := func(rawE1, rawE2, rawD float64) bool {
+		e1 := math.Mod(math.Abs(rawE1), 10) + 1e-6
+		e2 := math.Mod(math.Abs(rawE2), 10) + 1e-6
+		d := math.Mod(math.Abs(rawD), 100) + 1e-6
+		if math.IsNaN(e1) || math.IsNaN(e2) || math.IsNaN(d) {
+			return true
+		}
+		if e1 > e2 {
+			e1, e2 = e2, e1
+		}
+		return NoiseStdDev(d, e1) >= NoiseStdDev(d, e2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCDFEmpty(t *testing.T) {
+	c := NewCDF(nil)
+	if c.Len() != 0 || c.At(5) != 0 {
+		t.Fatal("empty CDF misbehaves")
+	}
+	if c.Curve(10) != nil {
+		t.Fatal("empty CDF curve should be nil")
+	}
+}
+
+func TestCDFAt(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 2, 3})
+	cases := []struct {
+		x    float64
+		want float64
+	}{
+		{0, 0}, {1, 0.25}, {1.5, 0.25}, {2, 0.75}, {3, 1}, {10, 1},
+	}
+	for _, tc := range cases {
+		if got := c.At(tc.x); got != tc.want {
+			t.Fatalf("At(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestCDFQuantileAgrees(t *testing.T) {
+	xs := []float64{5, 1, 9, 3, 7}
+	c := NewCDF(xs)
+	if got := c.Quantile(0.5); got != 5 {
+		t.Fatalf("median = %v", got)
+	}
+}
+
+func TestCDFCurveEndpoints(t *testing.T) {
+	c := NewCDF([]float64{4, 1, 3, 2})
+	pts := c.Curve(3)
+	if len(pts) != 3 {
+		t.Fatalf("curve has %d points", len(pts))
+	}
+	if pts[0].X != 1 {
+		t.Fatalf("first point %v, want min", pts[0])
+	}
+	last := pts[len(pts)-1]
+	if last.X != 4 || last.F != 1 {
+		t.Fatalf("last point %+v, want (4, 1)", last)
+	}
+}
+
+func TestCDFCurveFull(t *testing.T) {
+	c := NewCDF([]float64{2, 1})
+	pts := c.Curve(0)
+	if len(pts) != 2 || pts[0].X != 1 || pts[1].X != 2 {
+		t.Fatalf("full curve = %v", pts)
+	}
+}
+
+func TestCDFCurveSinglePoint(t *testing.T) {
+	c := NewCDF([]float64{3, 1, 2})
+	pts := c.Curve(1)
+	if len(pts) != 1 || pts[0].F != 1 {
+		t.Fatalf("single-point curve = %v", pts)
+	}
+}
+
+func TestCDFDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	NewCDF(xs)
+	if xs[0] != 3 {
+		t.Fatal("NewCDF sorted the caller's slice")
+	}
+}
+
+func TestCDFMonotoneQuick(t *testing.T) {
+	f := func(raw []float64, a, b float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		c := NewCDF(xs)
+		if a > b {
+			a, b = b, a
+		}
+		return c.At(a) <= c.At(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDFCurveMonotoneQuick(t *testing.T) {
+	f := func(raw []float64, m uint8) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		pts := NewCDF(xs).Curve(int(m))
+		for i := 1; i < len(pts); i++ {
+			if pts[i].X < pts[i-1].X || pts[i].F < pts[i-1].F {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,130 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary holds the descriptive statistics the experiment harnesses report
+// for a sample: the same median/quartile/min/max set the paper's box plots
+// (Fig. 5c, 6c, 7c) use, plus mean and count.
+type Summary struct {
+	Count  int
+	Mean   float64
+	Min    float64
+	Q1     float64
+	Median float64
+	Q3     float64
+	Max    float64
+}
+
+// Summarize computes a Summary of xs. It returns the zero Summary for an
+// empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	sum := 0.0
+	for _, x := range sorted {
+		sum += x
+	}
+	return Summary{
+		Count:  len(sorted),
+		Mean:   sum / float64(len(sorted)),
+		Min:    sorted[0],
+		Q1:     Quantile(sorted, 0.25),
+		Median: Quantile(sorted, 0.5),
+		Q3:     Quantile(sorted, 0.75),
+		Max:    sorted[len(sorted)-1],
+	}
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of a sorted sample using
+// linear interpolation between order statistics (the common "type 7"
+// estimator). It panics if sorted is empty or q is outside [0, 1].
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: Quantile of empty sample")
+	}
+	if q < 0 || q > 1 {
+		panic("stats: Quantile with q outside [0,1]")
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty sample.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Max returns the maximum of xs, or 0 for an empty sample.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// RMSRE returns the root mean square relative error of the estimates against
+// the true values: sqrt(E[(est−truth)²/truth²]). This is the accuracy metric
+// used throughout the paper's evaluation (§6.3). Pairs whose truth is zero
+// contribute relative error 0 if the estimate is also zero and 1 otherwise,
+// matching the convention that a nullified report for a real conversion
+// counts as full error.
+func RMSRE(estimates, truths []float64) float64 {
+	if len(estimates) != len(truths) {
+		panic("stats: RMSRE with mismatched lengths")
+	}
+	if len(estimates) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for i := range estimates {
+		var rel float64
+		switch {
+		case truths[i] != 0:
+			rel = (estimates[i] - truths[i]) / truths[i]
+		case estimates[i] != 0:
+			rel = 1
+		}
+		sum += rel * rel
+	}
+	return math.Sqrt(sum / float64(len(estimates)))
+}
+
+// RelativeError returns |est−truth|/|truth| with the same zero-truth
+// convention as RMSRE.
+func RelativeError(est, truth float64) float64 {
+	if truth == 0 {
+		if est == 0 {
+			return 0
+		}
+		return 1
+	}
+	return math.Abs(est-truth) / math.Abs(truth)
+}

@@ -1,0 +1,184 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Count != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{3})
+	if s.Count != 1 || s.Mean != 3 || s.Min != 3 || s.Max != 3 || s.Median != 3 {
+		t.Fatalf("single-element summary = %+v", s)
+	}
+}
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.Median != 3 || s.Min != 1 || s.Max != 5 || s.Mean != 3 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if !approx(s.Q1, 2, 1e-12) || !approx(s.Q3, 4, 1e-12) {
+		t.Fatalf("quartiles = %v, %v", s.Q1, s.Q3)
+	}
+}
+
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	Summarize(xs)
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 3 {
+		t.Fatalf("Summarize mutated input: %v", xs)
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	sorted := []float64{0, 10}
+	if got := Quantile(sorted, 0.5); got != 5 {
+		t.Fatalf("median of {0,10} = %v", got)
+	}
+	if got := Quantile(sorted, 0.25); got != 2.5 {
+		t.Fatalf("q1 of {0,10} = %v", got)
+	}
+}
+
+func TestQuantileEndpoints(t *testing.T) {
+	sorted := []float64{1, 2, 3}
+	if Quantile(sorted, 0) != 1 || Quantile(sorted, 1) != 3 {
+		t.Fatal("quantile endpoints wrong")
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	for _, q := range []float64{-0.1, 1.1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Quantile(q=%v) did not panic", q)
+				}
+			}()
+			Quantile([]float64{1}, q)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Quantile of empty did not panic")
+			}
+		}()
+		Quantile(nil, 0.5)
+	}()
+}
+
+func TestQuantileMonotoneQuick(t *testing.T) {
+	f := func(raw []float64, a, b float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		sort.Float64s(xs)
+		qa := math.Abs(math.Mod(a, 1))
+		qb := math.Abs(math.Mod(b, 1))
+		if math.IsNaN(qa) || math.IsNaN(qb) {
+			return true
+		}
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return Quantile(xs, qa) <= Quantile(xs, qb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanMax(t *testing.T) {
+	if Mean(nil) != 0 || Max(nil) != 0 {
+		t.Fatal("empty Mean/Max not 0")
+	}
+	if Mean([]float64{2, 4}) != 3 {
+		t.Fatal("Mean wrong")
+	}
+	if Max([]float64{2, 9, 4}) != 9 {
+		t.Fatal("Max wrong")
+	}
+}
+
+func TestRMSREExact(t *testing.T) {
+	// Single pair: relative error 0.1 → RMSRE 0.1.
+	if got := RMSRE([]float64{110}, []float64{100}); !approx(got, 0.1, 1e-12) {
+		t.Fatalf("RMSRE = %v", got)
+	}
+}
+
+func TestRMSREZeroTruthConvention(t *testing.T) {
+	if got := RMSRE([]float64{0}, []float64{0}); got != 0 {
+		t.Fatalf("RMSRE(0,0) = %v", got)
+	}
+	if got := RMSRE([]float64{5}, []float64{0}); got != 1 {
+		t.Fatalf("RMSRE(5,0) = %v", got)
+	}
+}
+
+func TestRMSREPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched RMSRE did not panic")
+		}
+	}()
+	RMSRE([]float64{1}, []float64{1, 2})
+}
+
+func TestRMSREEmpty(t *testing.T) {
+	if RMSRE(nil, nil) != 0 {
+		t.Fatal("empty RMSRE not 0")
+	}
+}
+
+func TestRelativeError(t *testing.T) {
+	if RelativeError(90, 100) != 0.1 {
+		t.Fatal("RelativeError wrong")
+	}
+	if RelativeError(0, 0) != 0 || RelativeError(1, 0) != 1 {
+		t.Fatal("zero-truth convention wrong")
+	}
+}
+
+func TestRMSRENonNegativeQuick(t *testing.T) {
+	f := func(ests, truths []float64) bool {
+		n := len(ests)
+		if len(truths) < n {
+			n = len(truths)
+		}
+		es, ts := make([]float64, 0, n), make([]float64, 0, n)
+		for i := 0; i < n; i++ {
+			if math.IsNaN(ests[i]) || math.IsInf(ests[i], 0) ||
+				math.IsNaN(truths[i]) || math.IsInf(truths[i], 0) {
+				continue
+			}
+			es = append(es, ests[i])
+			ts = append(ts, truths[i])
+		}
+		return RMSRE(es, ts) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,176 @@
+package workload
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/events"
+)
+
+// consumedAt returns the privacy loss the system attributes to a
+// (device, epoch) pair for one querier. For on-device systems this reads the
+// device's own filter; for IPA-like every device is charged the central
+// filter's consumption (the coarseness of population-level accounting,
+// Thm. 3).
+func (r *Run) consumedAt(dev events.DeviceID, q events.Site, e events.Epoch) float64 {
+	switch r.Config.System {
+	case IPALike:
+		return r.central.Consumed(q, e)
+	default:
+		d := r.fleet[dev]
+		if d == nil {
+			return 0
+		}
+		return d.Consumed(q, e)
+	}
+}
+
+// BudgetStats returns the average and maximum budget consumption across all
+// device-epochs requested through the run's queries — the Fig. 4 metrics.
+// A device-epoch requested by several queriers contributes the sum of its
+// per-querier losses, and the values are normalized by ε^G so they read as
+// "fraction of the epoch's budget spent".
+func (r *Run) BudgetStats() (avg, max float64) {
+	if len(r.requested) == 0 || r.Config.EpsilonG == 0 {
+		return 0, 0
+	}
+	// Iterate in sorted order so float accumulation is deterministic
+	// run-to-run (map order would perturb the low bits).
+	keys := make([]devEpoch, 0, len(r.requested))
+	for key := range r.requested {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].d != keys[j].d {
+			return keys[i].d < keys[j].d
+		}
+		return keys[i].e < keys[j].e
+	})
+	sum := 0.0
+	for _, key := range keys {
+		queriers := r.requested[key]
+		sites := make([]events.Site, 0, len(queriers))
+		for q := range queriers {
+			sites = append(sites, q)
+		}
+		sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+		total := 0.0
+		for _, q := range sites {
+			total += r.consumedAt(key.d, q, key.e)
+		}
+		total /= r.Config.EpsilonG
+		sum += total
+		if total > max {
+			max = total
+		}
+	}
+	return sum / float64(len(r.requested)), max
+}
+
+// EpochSpan returns the number of epochs any query window can touch
+// (including the pre-trace epochs early attribution windows reach into).
+func (r *Run) EpochSpan() int { return int(r.lastSpanEpoch-r.firstSpanEpoch) + 1 }
+
+// PopulationAvgBudget returns the average normalized budget consumption
+// over *all* device-epochs in the population (devices × reachable epochs) —
+// the fixed-denominator metric of Fig. 5a. It is monotone over the run
+// because filters only fill.
+func (r *Run) PopulationAvgBudget() float64 {
+	denom := float64(r.Config.Dataset.PopulationDevices) * float64(r.EpochSpan()) * r.Config.EpsilonG
+	if denom == 0 {
+		return 0
+	}
+	return r.totalConsumed / denom
+}
+
+// CumulativeAvgBudget returns, after each query in submission order, the
+// population-average normalized budget consumption — the Fig. 5a series.
+func (r *Run) CumulativeAvgBudget() []float64 {
+	out := make([]float64, len(r.Results))
+	for i := range r.Results {
+		out[i] = r.Results[i].avgBudgetAfter
+	}
+	return out
+}
+
+// RMSREs returns the realized RMSRE of every executed query.
+func (r *Run) RMSREs() []float64 {
+	var out []float64
+	for _, res := range r.Results {
+		if res.Executed && !math.IsNaN(res.RMSRE) {
+			out = append(out, res.RMSRE)
+		}
+	}
+	return out
+}
+
+// ExecutedFraction returns the fraction of queries that executed (1 for
+// on-device systems; below 1 for IPA-like once budget depletes).
+func (r *Run) ExecutedFraction() float64 {
+	if len(r.Results) == 0 {
+		return 0
+	}
+	n := 0
+	for _, res := range r.Results {
+		if res.Executed {
+			n++
+		}
+	}
+	return float64(n) / float64(len(r.Results))
+}
+
+// PerPairAverages returns one value per (device, advertiser) pair: the
+// average normalized budget consumption across all trace epochs within that
+// advertiser's filters on that device — the Fig. 6a/6d metric. Devices that
+// never consumed anything contribute zeros (for on-device systems) or the
+// central per-epoch average (for IPA-like), exactly as the population-wide
+// CDF requires.
+func (r *Run) PerPairAverages() []float64 {
+	epochs := r.EpochSpan()
+	if epochs == 0 || r.Config.EpsilonG == 0 {
+		return nil
+	}
+	advs := r.Config.Dataset.Advertisers
+	population := r.Config.Dataset.PopulationDevices
+	out := make([]float64, 0, population*len(advs))
+
+	if r.Config.System == IPALike {
+		for _, adv := range advs {
+			sum := 0.0
+			for e := r.firstSpanEpoch; e <= r.lastSpanEpoch; e++ {
+				sum += r.central.Consumed(adv.Site, e)
+			}
+			avg := sum / float64(epochs) / r.Config.EpsilonG
+			for d := 0; d < population; d++ {
+				out = append(out, avg)
+			}
+		}
+		return out
+	}
+
+	// On-device: read each active device's ledger once, then pad with
+	// zeros for silent devices.
+	for _, d := range r.fleet {
+		perQuerier := make(map[events.Site]float64)
+		for _, row := range d.Ledger() {
+			perQuerier[row.Querier] += row.Consumed
+		}
+		for _, adv := range advs {
+			out = append(out, perQuerier[adv.Site]/float64(epochs)/r.Config.EpsilonG)
+		}
+
+	}
+	silent := population - len(r.fleet)
+	for i := 0; i < silent*len(advs); i++ {
+		out = append(out, 0)
+	}
+	return out
+}
+
+// ActiveDevices returns the number of devices that generated at least one
+// report.
+func (r *Run) ActiveDevices() int { return len(r.fleet) }
+
+// RequestedDeviceEpochs returns the number of distinct device-epochs touched
+// by at least one query.
+func (r *Run) RequestedDeviceEpochs() int { return len(r.requested) }

@@ -1,0 +1,315 @@
+package workload
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/aggregation"
+	"repro/internal/attribution"
+	"repro/internal/bias"
+	"repro/internal/budget"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/events"
+	"repro/internal/privacy"
+	"repro/internal/stats"
+)
+
+// Run is a completed workload execution with everything the experiment
+// harnesses need: per-query results plus the budget state of every filter in
+// the system.
+type Run struct {
+	Config  Config
+	Results []QueryResult
+	// TotalEpochs is the number of epochs the trace spans.
+	TotalEpochs int
+
+	db        *events.Database
+	fleet     map[events.DeviceID]*core.Device
+	central   *budget.IPALike
+	requested map[devEpoch]map[events.Site]struct{}
+	ipaNoise  *stats.RNG
+	// totalConsumed is the running sum of consumed privacy loss across
+	// all device-epochs (for IPA-like, central consumption is charged to
+	// every device in the population).
+	totalConsumed float64
+	// firstSpanEpoch/lastSpanEpoch delimit every epoch a query window can
+	// touch: attribution windows of early conversions reach back before
+	// the trace, so the span is wider than the trace's own epochs.
+	firstSpanEpoch, lastSpanEpoch events.Epoch
+}
+
+// Execute runs the full workload under cfg and returns the collected run.
+func Execute(cfg Config) (*Run, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	r := &Run{
+		Config:      cfg,
+		TotalEpochs: cfg.Dataset.Epochs(cfg.EpochDays),
+		db:          cfg.Dataset.Build(cfg.EpochDays),
+		fleet:       make(map[events.DeviceID]*core.Device),
+		requested:   make(map[devEpoch]map[events.Site]struct{}),
+	}
+	r.firstSpanEpoch = events.EpochOfDay(1-cfg.WindowDays, cfg.EpochDays)
+	r.lastSpanEpoch = events.EpochOfDay(cfg.Dataset.DurationDays-1, cfg.EpochDays)
+	if r.lastSpanEpoch < r.firstSpanEpoch {
+		r.lastSpanEpoch = r.firstSpanEpoch
+	}
+	if cfg.System == IPALike {
+		r.central = budget.NewIPALike(cfg.EpsilonG)
+		r.ipaNoise = stats.Stream(cfg.Seed, "ipa-noise")
+	}
+
+	service := aggregation.NewService(stats.Stream(cfg.Seed, "aggregation-noise"))
+	plans := r.plan()
+	for i, p := range plans {
+		res := r.executeQuery(service, p)
+		res.Index = i
+		res.avgBudgetAfter = r.PopulationAvgBudget()
+		r.Results = append(r.Results, res)
+	}
+	return r, nil
+}
+
+// plan groups each advertiser's conversions per product into time-ordered
+// batches of B and schedules the resulting queries by the day their batch
+// filled, reproducing the paper's "once B reports are gathered, Nike runs
+// its query" loop.
+func (r *Run) plan() []queryPlan {
+	type stream struct {
+		site    events.Site
+		product string
+	}
+	byStream := make(map[stream][]events.Event)
+	advBySite := make(map[events.Site]dataset.Advertiser, len(r.Config.Dataset.Advertisers))
+	for _, adv := range r.Config.Dataset.Advertisers {
+		advBySite[adv.Site] = adv
+	}
+	for _, ev := range r.Config.Dataset.Events {
+		if !ev.IsConversion() {
+			continue
+		}
+		if _, ok := advBySite[ev.Advertiser]; !ok {
+			continue // not a queryable advertiser
+		}
+		key := stream{ev.Advertiser, ev.Product}
+		byStream[key] = append(byStream[key], ev)
+	}
+
+	var plans []queryPlan
+	for key, convs := range byStream {
+		adv := advBySite[key.site]
+		sort.Slice(convs, func(i, j int) bool { return convs[i].Before(convs[j]) })
+		eps := r.Config.FixedEpsilon
+		if eps <= 0 {
+			eps = r.Config.Calibration.Epsilon(
+				adv.MaxValue, adv.BatchSize, adv.AvgReportValue)
+		}
+		b := adv.BatchSize
+		max := len(convs) / b
+		if r.Config.MaxQueriesPerProduct > 0 && max > r.Config.MaxQueriesPerProduct {
+			max = r.Config.MaxQueriesPerProduct
+		}
+		for q := 0; q < max; q++ {
+			chunk := convs[q*b : (q+1)*b]
+			plans = append(plans, queryPlan{
+				advertiser: adv,
+				product:    key.product,
+				batch:      chunk,
+				fireDay:    chunk[len(chunk)-1].Day,
+				seq:        q,
+				epsilon:    eps,
+			})
+		}
+	}
+	// The key (fireDay, site, product, seq) is total, so the schedule is
+	// independent of map iteration order.
+	sort.Slice(plans, func(i, j int) bool {
+		if plans[i].fireDay != plans[j].fireDay {
+			return plans[i].fireDay < plans[j].fireDay
+		}
+		if plans[i].advertiser.Site != plans[j].advertiser.Site {
+			return plans[i].advertiser.Site < plans[j].advertiser.Site
+		}
+		if plans[i].product != plans[j].product {
+			return plans[i].product < plans[j].product
+		}
+		return plans[i].seq < plans[j].seq
+	})
+	return plans
+}
+
+// device returns (lazily creating) the on-device engine for dev.
+func (r *Run) device(dev events.DeviceID) *core.Device {
+	d := r.fleet[dev]
+	if d == nil {
+		policy := r.Config.PolicyOverride
+		if policy == nil {
+			if r.Config.System == ARALike {
+				policy = core.ARALikePolicy{}
+			} else {
+				policy = core.CookieMonsterPolicy{}
+			}
+		}
+		d = core.NewDevice(dev, r.db, r.Config.EpsilonG, policy)
+		r.fleet[dev] = d
+	}
+	return d
+}
+
+// request builds the attribution request for one conversion.
+func (r *Run) request(adv dataset.Advertiser, product string, conv events.Event, eps float64) *core.Request {
+	firstDay := conv.Day - r.Config.WindowDays + 1
+	first, last := events.EpochWindow(conv.Day, r.Config.WindowDays, r.Config.EpochDays)
+	req := &core.Request{
+		Querier:    adv.Site,
+		FirstEpoch: first,
+		LastEpoch:  last,
+		Selector: events.WindowSelector{
+			Inner:    events.ProductSelector{Advertiser: adv.Site, Product: product},
+			FirstDay: firstDay,
+			LastDay:  conv.Day,
+		},
+		Function:          attribution.ScalarValue{Value: conv.Value},
+		Epsilon:           eps,
+		ReportSensitivity: conv.Value,
+		QuerySensitivity:  adv.MaxValue,
+		PNorm:             1,
+	}
+	if r.Config.Bias != nil {
+		spec := *r.Config.Bias
+		if spec.Kappa <= 0 {
+			spec.Kappa = 0.1 * adv.MaxValue // the paper's 10% scaling
+		}
+		req.Bias = &spec
+	}
+	return req
+}
+
+// markRequested records the device-epochs a report's window touches, for the
+// Fig. 4 budget denominators.
+func (r *Run) markRequested(dev events.DeviceID, q events.Site, first, last events.Epoch) {
+	for e := first; e <= last; e++ {
+		key := devEpoch{dev, e}
+		m := r.requested[key]
+		if m == nil {
+			m = make(map[events.Site]struct{}, 1)
+			r.requested[key] = m
+		}
+		m[q] = struct{}{}
+	}
+}
+
+// trueReportValue computes the unbudgeted report value for a conversion —
+// the contribution to Q(D) the estimate is judged against.
+func (r *Run) trueReportValue(req *core.Request, dev events.DeviceID) float64 {
+	epochs := req.Epochs()
+	perEpoch := make([][]events.Event, len(epochs))
+	for i, e := range epochs {
+		perEpoch[i] = events.Select(r.db.EpochEvents(dev, e), req.Selector)
+	}
+	h := req.Function.Attribute(perEpoch)
+	attribution.ClipNorm(h, req.ReportSensitivity, req.PNorm)
+	return h.Total()
+}
+
+// executeQuery runs one batch under the configured system.
+func (r *Run) executeQuery(service *aggregation.Service, p queryPlan) QueryResult {
+	res := QueryResult{
+		Querier: p.advertiser.Site,
+		Product: p.product,
+		Batch:   len(p.batch),
+		Epsilon: p.epsilon,
+	}
+	first, last := events.EpochWindow(p.batch[0].Day, r.Config.WindowDays, r.Config.EpochDays)
+	res.FirstEpoch, res.LastEpoch = first, last
+
+	switch r.Config.System {
+	case CookieMonster, ARALike:
+		reports := make([]*core.Report, 0, len(p.batch))
+		for _, conv := range p.batch {
+			req := r.request(p.advertiser, p.product, conv, p.epsilon)
+			r.markRequested(conv.Device, p.advertiser.Site, req.FirstEpoch, req.LastEpoch)
+			if req.FirstEpoch < res.FirstEpoch {
+				res.FirstEpoch = req.FirstEpoch
+			}
+			if req.LastEpoch > res.LastEpoch {
+				res.LastEpoch = req.LastEpoch
+			}
+			rep, diag, err := r.device(conv.Device).GenerateReport(req)
+			if err != nil {
+				panic("workload: internal request invalid: " + err.Error())
+			}
+			res.Truth += diag.TrueHistogram.Total()
+			r.totalConsumed += diag.TotalLoss()
+			if len(diag.DeniedEpochs) > 0 {
+				res.DeniedReports++
+			}
+			if diag.Biased {
+				res.BiasedReports++
+			}
+			reports = append(reports, rep)
+		}
+		out, err := service.Execute(reports)
+		if err != nil {
+			panic("workload: aggregation failed: " + err.Error())
+		}
+		res.Executed = true
+		res.Estimate = out.Aggregate.Total()
+		if r.Config.Bias != nil {
+			kappa := r.Config.Bias.Kappa
+			if kappa <= 0 {
+				kappa = 0.1 * p.advertiser.MaxValue
+			}
+			bound := bias.Compute(out.BiasCount, res.Estimate, bias.Params{
+				Kappa:       kappa,
+				NoiseStdDev: privacy.NoiseStdDev(p.advertiser.MaxValue, p.epsilon),
+				Beta:        r.Config.Calibration.Beta,
+				DeltaMax:    p.advertiser.MaxValue,
+				ScaleFloor:  float64(len(p.batch)) * p.advertiser.AvgReportValue,
+			})
+			res.BiasEstimate = bound.RMSRE
+		}
+
+	case IPALike:
+		// Centralized budgeting: the MPC charges ε to every epoch the
+		// query's report windows touch, for the whole population, and
+		// rejects the query when any filter is short.
+		for _, conv := range p.batch {
+			f, l := events.EpochWindow(conv.Day, r.Config.WindowDays, r.Config.EpochDays)
+			if f < res.FirstEpoch {
+				res.FirstEpoch = f
+			}
+			if l > res.LastEpoch {
+				res.LastEpoch = l
+			}
+			r.markRequested(conv.Device, p.advertiser.Site, f, l)
+		}
+		err := r.central.Authorize(p.advertiser.Site, res.FirstEpoch, res.LastEpoch, p.epsilon)
+		// Truth is well-defined either way (for reporting); IPA computes
+		// attribution centrally on the full data, so executed queries
+		// aggregate true report values.
+		for _, conv := range p.batch {
+			req := r.request(p.advertiser, p.product, conv, p.epsilon)
+			res.Truth += r.trueReportValue(req, conv.Device)
+		}
+		if err == nil {
+			res.Executed = true
+			res.Estimate = res.Truth +
+				r.ipaNoise.Laplace(privacy.Scale(p.advertiser.MaxValue, p.epsilon))
+			// Central consumption applies to every device in the
+			// population, for each epoch the query touched.
+			span := float64(res.LastEpoch-res.FirstEpoch) + 1
+			r.totalConsumed += p.epsilon * span * float64(r.Config.Dataset.PopulationDevices)
+		}
+	}
+
+	if res.Executed {
+		res.RMSRE = stats.RelativeError(res.Estimate, res.Truth)
+	} else {
+		res.RMSRE = math.NaN()
+	}
+	return res
+}
