@@ -10,6 +10,7 @@
 package repro
 
 import (
+	"runtime"
 	"testing"
 
 	"repro/internal/aggregation"
@@ -183,6 +184,41 @@ func BenchmarkWorkloadCookieMonster(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchWorkloadParallelism measures the end-to-end engine on an
+// impression-dense microbenchmark at a fixed report-generation worker count.
+// Dense impressions (knob2) and a long window make per-conversion report
+// generation the dominant cost, which is the fan-out's target; sequential
+// vs parallel results are bit-identical, only wall-clock differs.
+func benchWorkloadParallelism(b *testing.B, workers int) {
+	b.Helper()
+	cfg := dataset.DefaultMicroConfig()
+	cfg.BatchSize = 200
+	cfg.Knob2 = 2.0
+	ds, err := dataset.Micro(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := workload.Execute(workload.Config{
+			Dataset: ds, System: workload.CookieMonster, EpsilonG: 5,
+			FixedEpsilon: 1, Seed: 1, Parallelism: workers,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWorkloadSequentialReports pins the batch fan-out to one worker —
+// the pre-sharding execution model, kept as the parallel baseline.
+func BenchmarkWorkloadSequentialReports(b *testing.B) { benchWorkloadParallelism(b, 1) }
+
+// BenchmarkWorkloadParallelReports fans batch report generation across all
+// cores via the sharded fleet; compare ns/op against the sequential twin.
+func BenchmarkWorkloadParallelReports(b *testing.B) {
+	benchWorkloadParallelism(b, runtime.GOMAXPROCS(0))
 }
 
 // BenchmarkMicroDatasetGen measures synthetic dataset generation.

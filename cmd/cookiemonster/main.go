@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	cookiemonster [-quick] [-seed N] [fig4|fig5|fig6|fig7|appb|all]
+//	cookiemonster [-quick] [-seed N] [-parallel N] [fig4|fig5|fig6|fig7|appb|all]
 package main
 
 import (
@@ -24,13 +24,15 @@ type tabler interface {
 func main() {
 	quick := flag.Bool("quick", false, "run reduced-scale experiments")
 	seed := flag.Uint64("seed", 0, "seed offset for datasets and noise")
+	parallel := flag.Int("parallel", 0,
+		"report-generation workers per batch (0 = GOMAXPROCS, 1 = sequential; results are identical)")
 	flag.Parse()
 
 	target := "all"
 	if flag.NArg() > 0 {
 		target = flag.Arg(0)
 	}
-	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	opts := experiments.Options{Quick: *quick, Seed: *seed, Parallelism: *parallel}
 
 	harnesses := map[string]func(experiments.Options) (tabler, error){
 		"fig4":     func(o experiments.Options) (tabler, error) { return experiments.Fig4(o) },

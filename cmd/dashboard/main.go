@@ -19,7 +19,6 @@ func main() {
 	flag.Parse()
 
 	db := events.NewDatabase()
-	dev := core.NewDevice(1, db, *epsG, core.CookieMonsterPolicy{})
 
 	// A month of Ann's browsing: Nike ads on nytimes.com and bbc.com,
 	// sportswear ads from a second advertiser, then purchases.
@@ -41,6 +40,14 @@ func main() {
 			Advertiser: im.adv, Campaign: im.campaign,
 		})
 	}
+
+	// Ann's device comes out of the same fleet registry the workload
+	// engine uses; the events database is frozen before any report reads.
+	db.Freeze()
+	fleet := core.NewFleet(1, func(id events.DeviceID) *core.Device {
+		return core.NewDevice(id, db, *epsG, core.CookieMonsterPolicy{})
+	})
+	dev := fleet.GetOrCreate(1)
 
 	// Conversions trigger attribution reports, consuming budget.
 	report := func(day int, adv events.Site, campaign string, value, cap float64) {

@@ -1,9 +1,10 @@
 package core
 
 import (
+	"slices"
+	"sort"
 	"sync"
 
-	"repro/internal/attribution"
 	"repro/internal/events"
 	"repro/internal/privacy"
 )
@@ -57,10 +58,16 @@ func (d *Device) Capacity() float64 { return d.capacity }
 func (d *Device) Policy() LossPolicy { return d.policy }
 
 // filter returns (lazily creating) the privacy filter F_x for
-// (querier, epoch).
+// (querier, epoch), or nil when the epoch sits below the retention floor —
+// the floor check shares the mutex with creation so a concurrent
+// SetEpochFloor can never be interleaved with recreating an evicted filter
+// (which would silently refund consumed budget).
 func (d *Device) filter(q events.Site, e events.Epoch) *privacy.Filter {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if e < d.epochFloor {
+		return nil
+	}
 	byEpoch := d.budgets[q]
 	if byEpoch == nil {
 		byEpoch = make(map[events.Epoch]*privacy.Filter)
@@ -79,9 +86,11 @@ func (d *Device) filter(q events.Site, e events.Epoch) *privacy.Filter {
 // it; queriers never can — remaining budgets are data-dependent and must
 // stay hidden (§3.4).
 func (d *Device) Consumed(q events.Site, e events.Epoch) float64 {
+	// The whole read happens under the lock: filter() can insert into the
+	// inner byEpoch map concurrently, so it must not be read unlocked.
 	d.mu.Lock()
+	defer d.mu.Unlock()
 	byEpoch := d.budgets[q]
-	d.mu.Unlock()
 	if byEpoch == nil {
 		return 0
 	}
@@ -90,6 +99,30 @@ func (d *Device) Consumed(q events.Site, e events.Epoch) float64 {
 		return 0
 	}
 	return f.Consumed()
+}
+
+// ConsumedByQuerier returns each querier's total consumed budget across all
+// of the device's epochs — the per-(device, advertiser) aggregate behind the
+// Fig. 6 CDFs.
+func (d *Device) ConsumedByQuerier() map[events.Site]float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[events.Site]float64, len(d.budgets))
+	for q, byEpoch := range d.budgets {
+		// Sum in epoch order so float accumulation is deterministic
+		// run-to-run (map order would perturb the low bits).
+		epochs := make([]events.Epoch, 0, len(byEpoch))
+		for e := range byEpoch {
+			epochs = append(epochs, e)
+		}
+		sort.Slice(epochs, func(i, j int) bool { return epochs[i] < epochs[j] })
+		sum := 0.0
+		for _, e := range epochs {
+			sum += byEpoch[e].Consumed()
+		}
+		out[q] = sum
+	}
+	return out
 }
 
 // GenerateReport runs Listing 1's compute_attribution_report for one
@@ -103,27 +136,29 @@ func (d *Device) GenerateReport(req *Request) (*Report, *Diagnostics, error) {
 
 	epochs := req.Epochs()
 	k := len(epochs)
-	surviving := make([][]events.Event, k) // post-filter relevant events
-	truthful := make([][]events.Event, k)  // pre-filter relevant events
+	// Step 1: select relevant events from every window epoch (the shared
+	// truth computation — see window.go).
+	truthful := RelevantWindow(d.db, d.id, req) // pre-filter relevant events
+	surviving := make([][]events.Event, k)      // post-filter relevant events
 	diag := &Diagnostics{
 		PerEpochLoss:     make(map[events.Epoch]float64, k),
 		RelevantPerEpoch: make(map[events.Epoch]int, k),
 	}
 	surcharge := biasSurcharge(req)
 	denied := make(map[events.Epoch]bool, k)
+	floor := d.EpochFloor()
 
 	for i, e := range epochs {
 		// Evicted epochs are permanently out of scope: they contribute
 		// ∅ and are never charged (their filters are gone; recreating
 		// one would refund budget).
-		if d.belowFloor(e) {
+		if e < floor {
+			truthful[i] = nil
 			diag.PerEpochLoss[e] = 0
 			diag.RelevantPerEpoch[e] = 0
 			continue
 		}
-		// Step 1: select relevant events from the epoch.
-		relevant := events.Select(d.db.EpochEvents(d.id, e), req.Selector)
-		truthful[i] = relevant
+		relevant := truthful[i]
 		diag.RelevantPerEpoch[e] = len(relevant)
 
 		// Step 2: individual privacy loss for this epoch, plus the
@@ -137,7 +172,17 @@ func (d *Device) GenerateReport(req *Request) (*Report, *Diagnostics, error) {
 			surviving[i] = relevant
 			continue
 		}
-		if err := d.filter(req.Querier, e).Consume(loss); err != nil {
+		f := d.filter(req.Querier, e)
+		if f == nil {
+			// The epoch was evicted between the floor snapshot and
+			// the charge: fall back to the evicted-epoch behavior —
+			// ∅ contribution, nothing charged.
+			truthful[i] = nil
+			diag.PerEpochLoss[e] = 0
+			diag.RelevantPerEpoch[e] = 0
+			continue
+		}
+		if err := f.Consume(loss); err != nil {
 			denied[e] = true
 			diag.DeniedEpochs = append(diag.DeniedEpochs, e)
 			diag.PerEpochLoss[e] = 0
@@ -151,13 +196,11 @@ func (d *Device) GenerateReport(req *Request) (*Report, *Diagnostics, error) {
 	// Step 4: attribution over surviving epochs, clipped to the report
 	// global sensitivity and already padded to fixed dimension by the
 	// attribution function.
-	h := req.Function.Attribute(surviving)
-	attribution.ClipNorm(h, req.ReportSensitivity, req.PNorm)
+	h := AttributeWindow(req, surviving)
 
-	truth := req.Function.Attribute(truthful)
-	attribution.ClipNorm(truth, req.ReportSensitivity, req.PNorm)
+	truth := AttributeWindow(req, truthful)
 	diag.TrueHistogram = truth
-	diag.Biased = !histogramsEqual(h, truth)
+	diag.Biased = !slices.Equal(h, truth)
 
 	rep := &Report{
 		Nonce:            newNonce(),
@@ -204,16 +247,4 @@ func biasFlag(req *Request, epochs []events.Epoch, surviving [][]events.Event, d
 		}
 	}
 	return 0
-}
-
-func histogramsEqual(a, b attribution.Histogram) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
 }

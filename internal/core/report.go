@@ -1,6 +1,7 @@
 package core
 
 import (
+	"slices"
 	"sync/atomic"
 
 	"repro/internal/attribution"
@@ -66,11 +67,19 @@ type Diagnostics struct {
 	Biased bool
 }
 
-// TotalLoss sums the privacy loss consumed across window epochs.
+// TotalLoss sums the privacy loss consumed across window epochs. Epochs are
+// summed in ascending order so the float result is bit-identical run-to-run
+// (the workload's budget totals are built from these sums, and map iteration
+// order would perturb the low bits).
 func (d *Diagnostics) TotalLoss() float64 {
+	epochs := make([]events.Epoch, 0, len(d.PerEpochLoss))
+	for e := range d.PerEpochLoss {
+		epochs = append(epochs, e)
+	}
+	slices.Sort(epochs)
 	sum := 0.0
-	for _, l := range d.PerEpochLoss {
-		sum += l
+	for _, e := range epochs {
+		sum += d.PerEpochLoss[e]
 	}
 	return sum
 }

@@ -44,10 +44,3 @@ func (d *Device) EpochFloor() events.Epoch {
 	defer d.mu.Unlock()
 	return d.epochFloor
 }
-
-// belowFloor reports whether an epoch has been evicted.
-func (d *Device) belowFloor(e events.Epoch) bool {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return e < d.epochFloor
-}

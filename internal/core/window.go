@@ -1,0 +1,42 @@
+package core
+
+import (
+	"repro/internal/attribution"
+	"repro/internal/events"
+)
+
+// This file holds the epoch-window truth computation shared by report
+// generation (Diagnostics.TrueHistogram) and the workload's IPA-like
+// baseline (which computes attribution centrally on the full data): select
+// the relevant events of every window epoch, attribute, clip. Keeping one
+// implementation guarantees the two sides judge estimates against the same
+// ground truth.
+
+// RelevantWindow returns, for each epoch of req's window oldest-first, the
+// events of device dev relevant to req — the paper's D^E_d filtered by the
+// selector F_A. It only reads the database, so it is safe to call from
+// concurrent workers once the database is frozen.
+func RelevantWindow(db *events.Database, dev events.DeviceID, req *Request) [][]events.Event {
+	out := db.WindowEvents(dev, req.FirstEpoch, req.LastEpoch)
+	for i, evs := range out {
+		out[i] = events.Select(evs, req.Selector)
+	}
+	return out
+}
+
+// AttributeWindow runs req's attribution function over per-epoch relevant
+// events and clips the result to the report global sensitivity — the
+// report-value computation applied to both the surviving (post-filter) and
+// truthful (pre-filter) event sets.
+func AttributeWindow(req *Request, perEpoch [][]events.Event) attribution.Histogram {
+	h := req.Function.Attribute(perEpoch)
+	attribution.ClipNorm(h, req.ReportSensitivity, req.PNorm)
+	return h
+}
+
+// TrueReportValue computes the unbudgeted report value of one conversion
+// request on dev — its contribution to Q(D) that estimates are judged
+// against.
+func TrueReportValue(db *events.Database, dev events.DeviceID, req *Request) float64 {
+	return AttributeWindow(req, RelevantWindow(db, dev, req)).Total()
+}

@@ -60,12 +60,15 @@ type Dataset struct {
 }
 
 // Build partitions the dataset's events into a device-epoch database for the
-// given epoch length in days.
+// given epoch length in days. The database comes back frozen: its dense
+// per-(device, epoch) index is compiled and the read path is safe for the
+// workload engine's concurrent report generation.
 func (d *Dataset) Build(epochDays int) *events.Database {
 	db := events.NewDatabase()
 	for _, ev := range d.Events {
 		db.Record(events.EpochOfDay(ev.Day, epochDays), ev)
 	}
+	db.Freeze()
 	return db
 }
 

@@ -16,13 +16,27 @@ type DeviceEpoch struct {
 // simulator's stand-in for the union of all on-device event stores; the
 // on-device engine only ever reads its own device's rows, preserving the
 // paper's trust model.
+//
+// A Database has two phases. While loading, Record appends events and the
+// structure must not be shared across goroutines. Freeze ends the loading
+// phase: it compiles a dense per-(device, epoch) index so EpochEvents on the
+// report hot path is a single bounds-checked slice lookup, and from then on
+// the database is immutable and safe for any number of concurrent readers
+// (the parallel fleet engine reads it from every worker).
 type Database struct {
 	devices map[DeviceID]*deviceStore
 	nextID  EventID
+	frozen  bool
 }
 
 type deviceStore struct {
 	epochs map[Epoch][]Event
+
+	// Dense index, built by Freeze: byEpoch[e-first] holds epoch e's
+	// events. Windows span a handful of epochs, so the dense span costs a
+	// few nil slots per device and makes the hot-path lookup branch-free.
+	first   Epoch
+	byEpoch [][]Event
 }
 
 // NewDatabase returns an empty database.
@@ -41,6 +55,9 @@ func (db *Database) NextEventID() EventID {
 // invariant with an insertion step that is O(1) for the common append-at-end
 // case (datasets are generated in time order).
 func (db *Database) Record(epoch Epoch, ev Event) {
+	if db.frozen {
+		panic("events: Record on frozen database")
+	}
 	ds := db.devices[ev.Device]
 	if ds == nil {
 		ds = &deviceStore{epochs: make(map[Epoch][]Event)}
@@ -55,13 +72,63 @@ func (db *Database) Record(epoch Epoch, ev Event) {
 	ds.epochs[epoch] = evs
 }
 
+// Freeze ends the loading phase: it builds the dense per-(device, epoch)
+// index behind EpochEvents and WindowEvents and marks the database
+// immutable. After Freeze the read path is safe for concurrent use; Record
+// panics. Freezing an already-frozen database is a no-op.
+func (db *Database) Freeze() {
+	if db.frozen {
+		return
+	}
+	for _, ds := range db.devices {
+		ds.buildIndex()
+	}
+	db.frozen = true
+}
+
+// Frozen reports whether the database has been frozen.
+func (db *Database) Frozen() bool { return db.frozen }
+
+// buildIndex compiles the epoch map into a dense slice spanning the device's
+// populated epoch range.
+func (ds *deviceStore) buildIndex() {
+	if len(ds.epochs) == 0 {
+		ds.byEpoch = [][]Event{}
+		return
+	}
+	first, last := Epoch(0), Epoch(0)
+	started := false
+	for e := range ds.epochs {
+		if !started || e < first {
+			first = e
+		}
+		if !started || e > last {
+			last = e
+		}
+		started = true
+	}
+	ds.first = first
+	ds.byEpoch = make([][]Event, int(last-first)+1)
+	for e, evs := range ds.epochs {
+		ds.byEpoch[e-first] = evs
+	}
+}
+
 // EpochEvents returns the events of device d at epoch e (the paper's D^e_d),
 // or nil when the device-epoch is empty. The returned slice is shared;
-// callers must not modify it.
+// callers must not modify it. On a frozen database this is a single indexed
+// slice lookup — the hottest read in report generation.
 func (db *Database) EpochEvents(d DeviceID, e Epoch) []Event {
 	ds := db.devices[d]
 	if ds == nil {
 		return nil
+	}
+	if ds.byEpoch != nil {
+		i := int(e - ds.first)
+		if i < 0 || i >= len(ds.byEpoch) {
+			return nil
+		}
+		return ds.byEpoch[i]
 	}
 	return ds.epochs[e]
 }
@@ -77,6 +144,14 @@ func (db *Database) WindowEvents(d DeviceID, first, last Epoch) [][]Event {
 	out := make([][]Event, int(last-first)+1)
 	ds := db.devices[d]
 	if ds == nil {
+		return out
+	}
+	if ds.byEpoch != nil {
+		for e := first; e <= last; e++ {
+			if i := int(e - ds.first); i >= 0 && i < len(ds.byEpoch) {
+				out[e-first] = ds.byEpoch[i]
+			}
+		}
 		return out
 	}
 	for e := first; e <= last; e++ {

@@ -1,6 +1,7 @@
 package events
 
 import (
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -164,4 +165,73 @@ func TestRecordOrderInvariantQuick(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+func TestFreezeIndexMatchesMapReads(t *testing.T) {
+	db := NewDatabase()
+	db.Record(-2, imp(1, 1, -14, "a"))
+	db.Record(0, imp(2, 1, 3, "a"))
+	db.Record(3, imp(3, 1, 25, "a"))
+	db.Record(1, conv(4, 2, 9, "a", 5))
+
+	type probe struct {
+		d DeviceID
+		e Epoch
+	}
+	probes := []probe{{1, -3}, {1, -2}, {1, -1}, {1, 0}, {1, 2}, {1, 3}, {1, 4}, {2, 1}, {2, 0}, {3, 0}}
+	before := make(map[probe]int)
+	for _, p := range probes {
+		before[p] = len(db.EpochEvents(p.d, p.e))
+	}
+	if db.Frozen() {
+		t.Fatal("database frozen before Freeze")
+	}
+	db.Freeze()
+	if !db.Frozen() {
+		t.Fatal("Freeze did not mark the database frozen")
+	}
+	for _, p := range probes {
+		if got := len(db.EpochEvents(p.d, p.e)); got != before[p] {
+			t.Fatalf("device %d epoch %d: %d events after Freeze, %d before", p.d, p.e, got, before[p])
+		}
+	}
+	w := db.WindowEvents(1, -3, 4)
+	if len(w) != 8 || len(w[1]) != 1 || len(w[3]) != 1 || len(w[6]) != 1 || w[0] != nil {
+		t.Fatalf("frozen WindowEvents = %v", w)
+	}
+	db.Freeze() // idempotent
+}
+
+func TestFreezeRejectsRecord(t *testing.T) {
+	db := NewDatabase()
+	db.Record(0, imp(1, 1, 1, "a"))
+	db.Freeze()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Record on a frozen database did not panic")
+		}
+	}()
+	db.Record(0, imp(2, 1, 2, "a"))
+}
+
+func TestFrozenConcurrentReaders(t *testing.T) {
+	db := NewDatabase()
+	for i := 0; i < 200; i++ {
+		db.Record(Epoch(i%5), imp(EventID(i+1), DeviceID(i%7), i, "a"))
+	}
+	db.Freeze()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for d := DeviceID(0); d < 7; d++ {
+				for e := Epoch(-1); e < 6; e++ {
+					db.EpochEvents(d, e)
+				}
+				db.WindowEvents(d, 0, 4)
+			}
+		}()
+	}
+	wg.Wait()
 }

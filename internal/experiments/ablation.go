@@ -44,6 +44,7 @@ func Ablation(o Options) (*AblationResult, error) {
 			EpsilonG:       res.EpsilonG,
 			FixedEpsilon:   eps,
 			Seed:           o.Seed + 80,
+			Parallelism:    o.Parallelism,
 		})
 		if err != nil {
 			return nil, err

@@ -20,6 +20,10 @@ type Options struct {
 	Quick bool
 	// Seed offsets all dataset and noise seeds, for replication studies.
 	Seed uint64
+	// Parallelism bounds each workload run's report-generation worker
+	// pool (0 = GOMAXPROCS, 1 = sequential). Results are identical for
+	// any value; the knob only trades wall-clock for cores.
+	Parallelism int
 }
 
 // Table is a printable result table: one per figure panel.

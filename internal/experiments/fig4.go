@@ -87,6 +87,7 @@ func Fig4(o Options) (*Fig4Result, error) {
 			EpsilonG:     res.EpsilonG,
 			FixedEpsilon: res.Epsilon,
 			Seed:         o.Seed + 40,
+			Parallelism:  o.Parallelism,
 		})
 		if err != nil {
 			return 0, 0, err

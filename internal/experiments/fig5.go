@@ -79,11 +79,12 @@ func Fig5(o Options) (*Fig5Result, error) {
 	for _, sys := range workload.Systems {
 		// Panels a & b: default 7-day epoch, with cumulative tracking.
 		run, err := workload.Execute(workload.Config{
-			Dataset:   ds,
-			System:    sys,
-			EpochDays: 7,
-			EpsilonG:  res.EpsilonG,
-			Seed:      o.Seed + 50,
+			Dataset:     ds,
+			System:      sys,
+			EpochDays:   7,
+			EpsilonG:    res.EpsilonG,
+			Seed:        o.Seed + 50,
+			Parallelism: o.Parallelism,
 		})
 		if err != nil {
 			return nil, err
@@ -96,11 +97,12 @@ func Fig5(o Options) (*Fig5Result, error) {
 		// Panel c: epoch-length sweep.
 		for _, days := range lengths {
 			sweep, err := workload.Execute(workload.Config{
-				Dataset:   ds,
-				System:    sys,
-				EpochDays: days,
-				EpsilonG:  res.EpsilonG,
-				Seed:      o.Seed + 51,
+				Dataset:     ds,
+				System:      sys,
+				EpochDays:   days,
+				EpsilonG:    res.EpsilonG,
+				Seed:        o.Seed + 51,
+				Parallelism: o.Parallelism,
 			})
 			if err != nil {
 				return nil, err

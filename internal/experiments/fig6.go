@@ -97,11 +97,12 @@ func Fig6(o Options) (*Fig6Result, error) {
 
 	for _, sys := range workload.Systems {
 		run, err := workload.Execute(workload.Config{
-			Dataset:   ds,
-			System:    sys,
-			EpochDays: 7,
-			EpsilonG:  res.EpsilonG,
-			Seed:      o.Seed + 60,
+			Dataset:     ds,
+			System:      sys,
+			EpochDays:   7,
+			EpsilonG:    res.EpsilonG,
+			Seed:        o.Seed + 60,
+			Parallelism: o.Parallelism,
 		})
 		if err != nil {
 			return nil, err
@@ -113,11 +114,12 @@ func Fig6(o Options) (*Fig6Result, error) {
 
 		for _, days := range res.EpochLengths {
 			sweep, err := workload.Execute(workload.Config{
-				Dataset:   ds,
-				System:    sys,
-				EpochDays: days,
-				EpsilonG:  res.EpsilonG,
-				Seed:      o.Seed + 61,
+				Dataset:     ds,
+				System:      sys,
+				EpochDays:   days,
+				EpsilonG:    res.EpsilonG,
+				Seed:        o.Seed + 61,
+				Parallelism: o.Parallelism,
 			})
 			if err != nil {
 				return nil, err
@@ -140,11 +142,12 @@ func Fig6(o Options) (*Fig6Result, error) {
 			return nil, err
 		}
 		run, err := workload.Execute(workload.Config{
-			Dataset:   aug,
-			System:    workload.CookieMonster,
-			EpochDays: 7,
-			EpsilonG:  res.EpsilonG,
-			Seed:      o.Seed + 60,
+			Dataset:     aug,
+			System:      workload.CookieMonster,
+			EpochDays:   7,
+			EpsilonG:    res.EpsilonG,
+			Seed:        o.Seed + 60,
+			Parallelism: o.Parallelism,
 		})
 		if err != nil {
 			return nil, err

@@ -110,10 +110,11 @@ func Fig7(o Options) (*Fig7Result, error) {
 
 	runVariant := func(v Fig7Variant) (*workload.Run, error) {
 		cfg := workload.Config{
-			Dataset:   ds,
-			EpochDays: 7,
-			EpsilonG:  res.EpsilonG,
-			Seed:      o.Seed + 70,
+			Dataset:     ds,
+			EpochDays:   7,
+			EpsilonG:    res.EpsilonG,
+			Seed:        o.Seed + 70,
+			Parallelism: o.Parallelism,
 		}
 		switch v {
 		case Fig7IPA:

@@ -50,10 +50,11 @@ func Headline(o Options) (*HeadlineResult, error) {
 		var ipaExec float64
 		for _, sys := range workload.Systems {
 			run, err := workload.Execute(workload.Config{
-				Dataset:  ds,
-				System:   sys,
-				EpsilonG: epsG,
-				Seed:     o.Seed + 90,
+				Dataset:     ds,
+				System:      sys,
+				EpsilonG:    epsG,
+				Seed:        o.Seed + 90,
+				Parallelism: o.Parallelism,
 			})
 			if err != nil {
 				return nil, err

@@ -17,7 +17,7 @@ type UnlinkabilityGame struct {
 	epoch events.Epoch
 
 	dbs   [2]*events.Database // A = single device, B = split
-	fleet [2]map[events.DeviceID]*core.Device
+	fleet [2]*core.Fleet
 
 	capacities map[events.DeviceID]float64
 	realized   float64
@@ -34,7 +34,6 @@ func NewUnlinkability(d0, d1 events.DeviceID, epoch events.Epoch, f0 []events.Ev
 	}
 	for w := range g.dbs {
 		g.dbs[w] = events.NewDatabase()
-		g.fleet[w] = make(map[events.DeviceID]*core.Device)
 	}
 	for _, ev := range f0 {
 		a := ev
@@ -49,9 +48,13 @@ func NewUnlinkability(d0, d1 events.DeviceID, epoch events.Epoch, f0 []events.Ev
 		g.dbs[1].Record(epoch, b)
 	}
 	for w := range g.fleet {
-		for dev, cap := range g.capacities {
-			g.fleet[w][dev] = core.NewDevice(dev, g.dbs[w], cap, core.CookieMonsterPolicy{})
-		}
+		db := g.dbs[w]
+		db.Freeze()
+		g.fleet[w] = core.NewFleet(2, func(dev events.DeviceID) *core.Device {
+			return core.NewDevice(dev, db, g.capacities[dev], core.CookieMonsterPolicy{})
+		})
+		g.fleet[w].GetOrCreate(d0)
+		g.fleet[w].GetOrCreate(d1)
 	}
 	return g
 }
@@ -66,12 +69,18 @@ func (g *UnlinkabilityGame) Query(req *core.Request) (float64, error) {
 	var sums [2]attribution.Histogram
 	for w := range g.fleet {
 		sum := attribution.NewHistogram(req.Function.OutputDim())
-		for _, dev := range g.fleet[w] {
+		var rangeErr error
+		g.fleet[w].Range(func(dev *core.Device) bool {
 			rep, _, err := dev.GenerateReport(req)
 			if err != nil {
-				return 0, err
+				rangeErr = err
+				return false
 			}
 			sum.Add(rep.Histogram)
+			return true
+		})
+		if rangeErr != nil {
+			return 0, rangeErr
 		}
 		sums[w] = sum
 	}

@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/core"
 	"repro/internal/events"
 )
 
@@ -17,11 +18,7 @@ func (r *Run) consumedAt(dev events.DeviceID, q events.Site, e events.Epoch) flo
 	case IPALike:
 		return r.central.Consumed(q, e)
 	default:
-		d := r.fleet[dev]
-		if d == nil {
-			return 0
-		}
-		return d.Consumed(q, e)
+		return r.fleet.ConsumedAt(dev, q, e)
 	}
 }
 
@@ -148,19 +145,16 @@ func (r *Run) PerPairAverages() []float64 {
 		return out
 	}
 
-	// On-device: read each active device's ledger once, then pad with
-	// zeros for silent devices.
-	for _, d := range r.fleet {
-		perQuerier := make(map[events.Site]float64)
-		for _, row := range d.Ledger() {
-			perQuerier[row.Querier] += row.Consumed
-		}
+	// On-device: read each active device's per-querier totals once, then
+	// pad with zeros for silent devices.
+	r.fleet.Range(func(d *core.Device) bool {
+		perQuerier := d.ConsumedByQuerier()
 		for _, adv := range advs {
 			out = append(out, perQuerier[adv.Site]/float64(epochs)/r.Config.EpsilonG)
 		}
-
-	}
-	silent := population - len(r.fleet)
+		return true
+	})
+	silent := population - r.fleet.Len()
 	for i := 0; i < silent*len(advs); i++ {
 		out = append(out, 0)
 	}
@@ -169,7 +163,7 @@ func (r *Run) PerPairAverages() []float64 {
 
 // ActiveDevices returns the number of devices that generated at least one
 // report.
-func (r *Run) ActiveDevices() int { return len(r.fleet) }
+func (r *Run) ActiveDevices() int { return r.fleet.Len() }
 
 // RequestedDeviceEpochs returns the number of distinct device-epochs touched
 // by at least one query.

@@ -25,7 +25,7 @@ type Run struct {
 	TotalEpochs int
 
 	db        *events.Database
-	fleet     map[events.DeviceID]*core.Device
+	fleet     *core.Fleet
 	central   *budget.IPALike
 	requested map[devEpoch]map[events.Site]struct{}
 	ipaNoise  *stats.RNG
@@ -40,6 +40,10 @@ type Run struct {
 }
 
 // Execute runs the full workload under cfg and returns the collected run.
+// Queries execute sequentially in schedule order (their noise draws come
+// from the run's seeded streams), but within each batch the per-conversion
+// report generation fans out across cfg.Parallelism workers over the
+// sharded device fleet; results are bit-identical for any worker count.
 func Execute(cfg Config) (*Run, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
@@ -49,9 +53,20 @@ func Execute(cfg Config) (*Run, error) {
 		Config:      cfg,
 		TotalEpochs: cfg.Dataset.Epochs(cfg.EpochDays),
 		db:          cfg.Dataset.Build(cfg.EpochDays),
-		fleet:       make(map[events.DeviceID]*core.Device),
 		requested:   make(map[devEpoch]map[events.Site]struct{}),
 	}
+	policy := cfg.PolicyOverride
+	if policy == nil {
+		if cfg.System == ARALike {
+			policy = core.ARALikePolicy{}
+		} else {
+			policy = core.CookieMonsterPolicy{}
+		}
+	}
+	db, epsG := r.db, cfg.EpsilonG
+	r.fleet = core.NewFleet(0, func(id events.DeviceID) *core.Device {
+		return core.NewDevice(id, db, epsG, policy)
+	})
 	r.firstSpanEpoch = events.EpochOfDay(1-cfg.WindowDays, cfg.EpochDays)
 	r.lastSpanEpoch = events.EpochOfDay(cfg.Dataset.DurationDays-1, cfg.EpochDays)
 	if r.lastSpanEpoch < r.firstSpanEpoch {
@@ -141,24 +156,6 @@ func (r *Run) plan() []queryPlan {
 	return plans
 }
 
-// device returns (lazily creating) the on-device engine for dev.
-func (r *Run) device(dev events.DeviceID) *core.Device {
-	d := r.fleet[dev]
-	if d == nil {
-		policy := r.Config.PolicyOverride
-		if policy == nil {
-			if r.Config.System == ARALike {
-				policy = core.ARALikePolicy{}
-			} else {
-				policy = core.CookieMonsterPolicy{}
-			}
-		}
-		d = core.NewDevice(dev, r.db, r.Config.EpsilonG, policy)
-		r.fleet[dev] = d
-	}
-	return d
-}
-
 // request builds the attribution request for one conversion.
 func (r *Run) request(adv dataset.Advertiser, product string, conv events.Event, eps float64) *core.Request {
 	firstDay := conv.Day - r.Config.WindowDays + 1
@@ -202,20 +199,11 @@ func (r *Run) markRequested(dev events.DeviceID, q events.Site, first, last even
 	}
 }
 
-// trueReportValue computes the unbudgeted report value for a conversion —
-// the contribution to Q(D) the estimate is judged against.
-func (r *Run) trueReportValue(req *core.Request, dev events.DeviceID) float64 {
-	epochs := req.Epochs()
-	perEpoch := make([][]events.Event, len(epochs))
-	for i, e := range epochs {
-		perEpoch[i] = events.Select(r.db.EpochEvents(dev, e), req.Selector)
-	}
-	h := req.Function.Attribute(perEpoch)
-	attribution.ClipNorm(h, req.ReportSensitivity, req.PNorm)
-	return h.Total()
-}
-
-// executeQuery runs one batch under the configured system.
+// executeQuery runs one batch through the three pipeline stages: prepare
+// (build every conversion's request, sequentially — it mutates the
+// requested-epoch accounting), generate (fan report generation out across
+// the worker pool; see pipeline.go), aggregate (fold per-conversion outputs
+// in conversion order and release the noisy result).
 func (r *Run) executeQuery(service *aggregation.Service, p queryPlan) QueryResult {
 	res := QueryResult{
 		Querier: p.advertiser.Site,
@@ -226,22 +214,31 @@ func (r *Run) executeQuery(service *aggregation.Service, p queryPlan) QueryResul
 	first, last := events.EpochWindow(p.batch[0].Day, r.Config.WindowDays, r.Config.EpochDays)
 	res.FirstEpoch, res.LastEpoch = first, last
 
+	// Stage 1: prepare. Requests are pure values; the requested-epoch
+	// bookkeeping and window widening stay on the coordinator.
+	reqs := make([]*core.Request, len(p.batch))
+	for i, conv := range p.batch {
+		req := r.request(p.advertiser, p.product, conv, p.epsilon)
+		reqs[i] = req
+		r.markRequested(conv.Device, p.advertiser.Site, req.FirstEpoch, req.LastEpoch)
+		if req.FirstEpoch < res.FirstEpoch {
+			res.FirstEpoch = req.FirstEpoch
+		}
+		if req.LastEpoch > res.LastEpoch {
+			res.LastEpoch = req.LastEpoch
+		}
+	}
+
 	switch r.Config.System {
 	case CookieMonster, ARALike:
-		reports := make([]*core.Report, 0, len(p.batch))
-		for _, conv := range p.batch {
-			req := r.request(p.advertiser, p.product, conv, p.epsilon)
-			r.markRequested(conv.Device, p.advertiser.Site, req.FirstEpoch, req.LastEpoch)
-			if req.FirstEpoch < res.FirstEpoch {
-				res.FirstEpoch = req.FirstEpoch
-			}
-			if req.LastEpoch > res.LastEpoch {
-				res.LastEpoch = req.LastEpoch
-			}
-			rep, diag, err := r.device(conv.Device).GenerateReport(req)
-			if err != nil {
-				panic("workload: internal request invalid: " + err.Error())
-			}
+		// Stage 2: generate reports on-device, in parallel.
+		outputs := r.generateReports(reqs, p.batch)
+
+		// Stage 3: aggregate. Per-conversion outputs fold in
+		// conversion order, so sums are schedule-independent.
+		reports := make([]*core.Report, len(outputs))
+		for i := range outputs {
+			diag := outputs[i].diag
 			res.Truth += diag.TrueHistogram.Total()
 			r.totalConsumed += diag.TotalLoss()
 			if len(diag.DeniedEpochs) > 0 {
@@ -250,7 +247,7 @@ func (r *Run) executeQuery(service *aggregation.Service, p queryPlan) QueryResul
 			if diag.Biased {
 				res.BiasedReports++
 			}
-			reports = append(reports, rep)
+			reports[i] = outputs[i].report
 		}
 		out, err := service.Execute(reports)
 		if err != nil {
@@ -277,23 +274,14 @@ func (r *Run) executeQuery(service *aggregation.Service, p queryPlan) QueryResul
 		// Centralized budgeting: the MPC charges ε to every epoch the
 		// query's report windows touch, for the whole population, and
 		// rejects the query when any filter is short.
-		for _, conv := range p.batch {
-			f, l := events.EpochWindow(conv.Day, r.Config.WindowDays, r.Config.EpochDays)
-			if f < res.FirstEpoch {
-				res.FirstEpoch = f
-			}
-			if l > res.LastEpoch {
-				res.LastEpoch = l
-			}
-			r.markRequested(conv.Device, p.advertiser.Site, f, l)
-		}
 		err := r.central.Authorize(p.advertiser.Site, res.FirstEpoch, res.LastEpoch, p.epsilon)
-		// Truth is well-defined either way (for reporting); IPA computes
-		// attribution centrally on the full data, so executed queries
-		// aggregate true report values.
-		for _, conv := range p.batch {
-			req := r.request(p.advertiser, p.product, conv, p.epsilon)
-			res.Truth += r.trueReportValue(req, conv.Device)
+		// Stage 2: truth is well-defined either way (for reporting);
+		// IPA computes attribution centrally on the full data, so
+		// executed queries aggregate true report values.
+		outputs := r.trueValues(reqs, p.batch)
+		// Stage 3: fold in conversion order.
+		for i := range outputs {
+			res.Truth += outputs[i].truth
 		}
 		if err == nil {
 			res.Executed = true

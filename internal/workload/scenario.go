@@ -11,6 +11,7 @@ package workload
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -77,6 +78,12 @@ type Config struct {
 	Bias *core.BiasSpec
 	// Seed drives the aggregation noise.
 	Seed uint64
+	// Parallelism bounds the worker pool that fans each batch's
+	// per-conversion report generation out across devices. 0 (the
+	// default) selects GOMAXPROCS; 1 runs fully sequentially. Results
+	// are bit-identical for every value — see pipeline.go for the
+	// determinism contract.
+	Parallelism int
 	// MaxQueriesPerProduct truncates each product's query schedule
 	// (0 = run every full batch).
 	MaxQueriesPerProduct int
@@ -100,6 +107,9 @@ func (c Config) withDefaults() Config {
 	if c.Calibration == (privacy.Calibration{}) {
 		c.Calibration = privacy.DefaultCalibration
 	}
+	if c.Parallelism == 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
 	return c
 }
 
@@ -113,6 +123,8 @@ func (c Config) validate() error {
 		return fmt.Errorf("workload: negative capacity")
 	case c.FixedEpsilon < 0:
 		return fmt.Errorf("workload: negative fixed epsilon")
+	case c.Parallelism < 0:
+		return fmt.Errorf("workload: negative parallelism")
 	}
 	return nil
 }
