@@ -11,7 +11,9 @@ package repro
 
 import (
 	"runtime"
+	"runtime/metrics"
 	"testing"
+	"time"
 
 	"repro/internal/aggregation"
 	"repro/internal/attribution"
@@ -21,6 +23,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/privacy"
 	"repro/internal/stats"
+	"repro/internal/stream"
 	"repro/internal/workload"
 )
 
@@ -246,5 +249,176 @@ func BenchmarkAblationLadder(b *testing.B) {
 		if full > 0 {
 			b.ReportMetric(r.AvgBudget[0]/full, "none/full-budget-ratio")
 		}
+	}
+}
+
+// streamBenchConfig is the sustained-ingest scenario: the synthetic source
+// at 10× the default microbenchmark population (DefaultMicroConfig's
+// B/knob1 = 5,000 devices), full 120-day trace. The generator emits one day
+// at a time, so only the service's retention window bounds resident events.
+func streamBenchConfig() dataset.SyntheticConfig {
+	cfg := dataset.DefaultSyntheticConfig()
+	cfg.Population = 50000
+	cfg.ImpressionsPerDay = 0.1
+	return cfg
+}
+
+func streamBenchSource(b *testing.B) *dataset.SyntheticSource {
+	b.Helper()
+	src, err := dataset.NewSynthetic(streamBenchConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return src
+}
+
+// BenchmarkStreamSustainedIngest measures the online measurement service
+// end-to-end on the 10× scenario in lean (long-running) retention mode and
+// reports sustained ingest throughput plus how far resident state stayed
+// below the trace.
+func BenchmarkStreamSustainedIngest(b *testing.B) {
+	events := 0
+	queries := 0
+	var peakResident, evicted int
+	for i := 0; i < b.N; i++ {
+		svc, err := stream.New(stream.Config{
+			Source:       streamBenchSource(b),
+			EpsilonG:     5,
+			FixedEpsilon: 1,
+			Seed:         uint64(i + 1),
+			Lean:         true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		run, err := svc.Serve()
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += run.EventsIngested
+		queries += len(run.Results)
+		if run.PeakResidentRecords > peakResident {
+			peakResident = run.PeakResidentRecords
+		}
+		evicted += run.EvictedRecords
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+	b.ReportMetric(float64(queries)/float64(b.N), "queries/run")
+	b.ReportMetric(float64(peakResident), "peak-resident-records")
+	b.ReportMetric(float64(evicted)/float64(b.N), "evicted-records/run")
+}
+
+// peakHeapDuring runs fn with a background sampler watching live heap bytes
+// (runtime/metrics) and returns the peak growth over the post-GC baseline —
+// the number that distinguishes "memory bounded by the ingest window" from
+// "memory proportional to the trace".
+func peakHeapDuring(fn func()) uint64 {
+	runtime.GC()
+	sample := []metrics.Sample{{Name: "/memory/classes/heap/objects:bytes"}}
+	metrics.Read(sample)
+	baseline := sample[0].Value.Uint64()
+	peak := baseline
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s := []metrics.Sample{{Name: "/memory/classes/heap/objects:bytes"}}
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				metrics.Read(s)
+				if v := s[0].Value.Uint64(); v > peak {
+					peak = v
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+		}
+	}()
+	fn()
+	close(stop)
+	<-done
+	if peak < baseline {
+		return 0
+	}
+	return peak - baseline
+}
+
+// BenchmarkStreamPeakMemory runs the 10× scenario through the streaming
+// service and reports peak heap growth; compare against
+// BenchmarkBatchPeakMemory, which materializes the same trace for the batch
+// engine. The streaming peak tracks the ingest queue plus the attribution
+// window; the batch peak carries the whole dataset.
+func BenchmarkStreamPeakMemory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		peak := peakHeapDuring(func() {
+			svc, err := stream.New(stream.Config{
+				Source:       streamBenchSource(b),
+				EpsilonG:     5,
+				FixedEpsilon: 1,
+				Seed:         1,
+				Lean:         true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := svc.Serve(); err != nil {
+				b.Fatal(err)
+			}
+		})
+		b.ReportMetric(float64(peak)/(1<<20), "peak-MB")
+	}
+}
+
+// BenchmarkBatchPeakMemory is BenchmarkStreamPeakMemory's twin on the batch
+// engine: materialize the identical 10× trace, then Execute. Same queries,
+// same results (the equivalence contract) — but the peak includes the full
+// event log.
+func BenchmarkBatchPeakMemory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		peak := peakHeapDuring(func() {
+			ds := dataset.Materialize(streamBenchSource(b))
+			if _, err := workload.Execute(workload.Config{
+				Dataset: ds, System: workload.CookieMonster,
+				EpsilonG: 5, FixedEpsilon: 1, Seed: 1,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		})
+		b.ReportMetric(float64(peak)/(1<<20), "peak-MB")
+	}
+}
+
+// BenchmarkStreamPeakMemoryLongTrace doubles the trace length (240 days,
+// twice the queries) at the same population. The streaming peak should stay
+// roughly where BenchmarkStreamPeakMemory's was — resident state is the
+// ingest queue, the attribution window, and live device filters — while a
+// batch run's peak grows with the trace.
+func BenchmarkStreamPeakMemoryLongTrace(b *testing.B) {
+	cfg := streamBenchConfig()
+	cfg.DurationDays = 240
+	cfg.QueriesPerProduct = 4
+	for i := 0; i < b.N; i++ {
+		src, err := dataset.NewSynthetic(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		peak := peakHeapDuring(func() {
+			svc, err := stream.New(stream.Config{
+				Source:       src,
+				EpsilonG:     5,
+				FixedEpsilon: 1,
+				Seed:         1,
+				Lean:         true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := svc.Serve(); err != nil {
+				b.Fatal(err)
+			}
+		})
+		b.ReportMetric(float64(peak)/(1<<20), "peak-MB")
 	}
 }

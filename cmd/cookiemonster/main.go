@@ -4,7 +4,12 @@
 //
 // Usage:
 //
-//	cookiemonster [-quick] [-seed N] [-parallel N] [fig4|fig5|fig6|fig7|appb|all]
+//	cookiemonster [-quick] [-seed N] [-parallel N] [-stream] [fig4|fig5|fig6|fig7|appb|all]
+//
+// With -stream, every workload runs through the online measurement service
+// (internal/stream): events are ingested as a day-ordered stream through a
+// bounded queue and queries fire as their batches fill. Results are
+// bit-identical to batch mode, so the figures reproduce exactly.
 package main
 
 import (
@@ -26,13 +31,16 @@ func main() {
 	seed := flag.Uint64("seed", 0, "seed offset for datasets and noise")
 	parallel := flag.Int("parallel", 0,
 		"report-generation workers per batch (0 = GOMAXPROCS, 1 = sequential; results are identical)")
+	streaming := flag.Bool("stream", false,
+		"run workloads through the online measurement service (day-ordered ingestion, "+
+			"day-clocked queries; results are identical to batch mode)")
 	flag.Parse()
 
 	target := "all"
 	if flag.NArg() > 0 {
 		target = flag.Arg(0)
 	}
-	opts := experiments.Options{Quick: *quick, Seed: *seed, Parallelism: *parallel}
+	opts := experiments.Options{Quick: *quick, Seed: *seed, Parallelism: *parallel, Streaming: *streaming}
 
 	harnesses := map[string]func(experiments.Options) (tabler, error){
 		"fig4":     func(o experiments.Options) (tabler, error) { return experiments.Fig4(o) },

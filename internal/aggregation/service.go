@@ -58,6 +58,11 @@ type Service struct {
 
 	mu   sync.Mutex
 	seen map[core.Nonce]struct{}
+	// watermark is the retirement horizon: every nonce at or below it has
+	// been consumed by a completed batch and evicted from seen. Submissions
+	// at or below the watermark are rejected as replays, so compaction
+	// never weakens the one-use guarantee.
+	watermark core.Nonce
 }
 
 // NewService returns a service drawing noise from rng.
@@ -94,6 +99,14 @@ func (s *Service) Execute(reports []*core.Report) (*Result, error) {
 	s.mu.Lock()
 	claimed := make([]core.Nonce, 0, len(reports))
 	for _, r := range reports {
+		if r.Nonce <= s.watermark {
+			for _, n := range claimed {
+				delete(s.seen, n)
+			}
+			s.mu.Unlock()
+			return nil, fmt.Errorf("%w: nonce %d at or below retirement watermark %d",
+				ErrReplayedNonce, r.Nonce, s.watermark)
+		}
 		if _, dup := s.seen[r.Nonce]; dup {
 			for _, n := range claimed {
 				delete(s.seen, n)
@@ -128,10 +141,43 @@ func (s *Service) Execute(reports []*core.Report) (*Result, error) {
 	}, nil
 }
 
-// ConsumedNonces reports how many report nonces have been consumed, for
-// tests and diagnostics.
+// ConsumedNonces reports how many report nonces are currently tracked as
+// consumed (retired nonces are not counted), for tests and diagnostics.
 func (s *Service) ConsumedNonces() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.seen)
+}
+
+// Compact retires every consumed nonce at or below watermark, reclaiming the
+// replay-protection memory a long-running service would otherwise accumulate
+// without bound. Callers invoke it on batch completion, once they know no
+// legitimate report at or below the watermark can still be submitted (nonces
+// are minted monotonically, so any batch whose reports were all generated
+// before the watermark qualifies). Retired nonces stay rejected: Execute
+// refuses anything at or below the watermark as a replay. The watermark never
+// moves backwards; Compact returns the number of entries evicted.
+func (s *Service) Compact(watermark core.Nonce) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if watermark <= s.watermark {
+		return 0
+	}
+	s.watermark = watermark
+	evicted := 0
+	for n := range s.seen {
+		if n <= watermark {
+			delete(s.seen, n)
+			evicted++
+		}
+	}
+	return evicted
+}
+
+// Watermark returns the current retirement horizon: nonces at or below it
+// are rejected without consulting the consumed set.
+func (s *Service) Watermark() core.Nonce {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.watermark
 }

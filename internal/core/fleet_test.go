@@ -161,3 +161,67 @@ func TestFleetConcurrentReportsAndReads(t *testing.T) {
 		t.Fatal("no budget consumed across the fleet")
 	}
 }
+
+func TestFleetAdvanceEpochFloor(t *testing.T) {
+	f := testFleet(4)
+	const q = events.Site("nike.example")
+	// Touch filters on epochs 0..4 of three devices.
+	for dev := events.DeviceID(1); dev <= 3; dev++ {
+		d := f.GetOrCreate(dev)
+		for e := events.Epoch(0); e < 5; e++ {
+			if err := d.filter(q, e).Consume(0.1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Advancing to epoch 2 releases epochs 0 and 1 on every device.
+	if released := f.AdvanceEpochFloor(2); released != 6 {
+		t.Fatalf("released %d filters, want 6", released)
+	}
+	if f.EpochFloor() != 2 {
+		t.Fatalf("fleet floor = %d, want 2", f.EpochFloor())
+	}
+	for dev := events.DeviceID(1); dev <= 3; dev++ {
+		if got := f.ConsumedAt(dev, q, 1); got != 0 {
+			t.Fatalf("device %d epoch 1 consumed = %v after eviction", dev, got)
+		}
+		if got := f.ConsumedAt(dev, q, 3); got != 0.1 {
+			t.Fatalf("device %d epoch 3 consumed = %v, want 0.1", dev, got)
+		}
+	}
+
+	// The floor never moves backwards.
+	if released := f.AdvanceEpochFloor(1); released != 0 {
+		t.Fatalf("backwards advance released %d filters", released)
+	}
+	if f.EpochFloor() != 2 {
+		t.Fatalf("fleet floor moved backwards to %d", f.EpochFloor())
+	}
+
+	// Devices created after the advance inherit the floor: evicted epochs
+	// are permanently out of scope for them too.
+	late := f.GetOrCreate(9)
+	if late.EpochFloor() != 2 {
+		t.Fatalf("late device floor = %d, want 2", late.EpochFloor())
+	}
+}
+
+func TestFleetAdvanceEpochFloorConcurrentRatchet(t *testing.T) {
+	f := testFleet(4)
+	f.GetOrCreate(1)
+	var wg sync.WaitGroup
+	// Racing advances with different floors: the floor must end at the
+	// maximum, never regress to a later-arriving lower value.
+	for _, floor := range []events.Epoch{3, 9, 5, 7, 1} {
+		wg.Add(1)
+		go func(e events.Epoch) {
+			defer wg.Done()
+			f.AdvanceEpochFloor(e)
+		}(floor)
+	}
+	wg.Wait()
+	if got := f.EpochFloor(); got != 9 {
+		t.Fatalf("fleet floor = %d after concurrent advances, want 9", got)
+	}
+}

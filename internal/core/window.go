@@ -14,8 +14,10 @@ import (
 
 // RelevantWindow returns, for each epoch of req's window oldest-first, the
 // events of device dev relevant to req — the paper's D^E_d filtered by the
-// selector F_A. It only reads the database, so it is safe to call from
-// concurrent workers once the database is frozen.
+// selector F_A. It only reads the database, so concurrent workers may call
+// it on a frozen database, or on a loading-phase database during a phase
+// with no concurrent Record/EvictBefore (the streaming service's day-clock
+// discipline).
 func RelevantWindow(db *events.Database, dev events.DeviceID, req *Request) [][]events.Event {
 	out := db.WindowEvents(dev, req.FirstEpoch, req.LastEpoch)
 	for i, evs := range out {

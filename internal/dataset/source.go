@@ -1,0 +1,108 @@
+package dataset
+
+import (
+	"sort"
+
+	"repro/internal/events"
+)
+
+// Meta describes a dataset without its events: everything the workload
+// drivers need to plan queries — population, duration, queriers — with no
+// reference to the event log itself. A streaming service receives Meta up
+// front and the events one at a time.
+type Meta struct {
+	// Name identifies the dataset in experiment output.
+	Name string
+	// PopulationDevices is the total device population, including devices
+	// that never convert (off-device budgeting charges them too).
+	PopulationDevices int
+	// DurationDays is the length of the simulated trace.
+	DurationDays int
+	// Advertisers lists the queriers.
+	Advertisers []Advertiser
+}
+
+// Epochs returns the number of epochs the trace spans at the given epoch
+// length.
+func (m Meta) Epochs(epochDays int) int {
+	if m.DurationDays == 0 {
+		return 0
+	}
+	return int(events.EpochOfDay(m.DurationDays-1, epochDays)) + 1
+}
+
+// Source is a bounded-memory event iterator: it yields a dataset's events
+// one at a time in nondecreasing (Day, ID) order — the order a production
+// ingestion tier would receive them — without ever materializing the full
+// event log. Implementations are not safe for concurrent use; a consumer
+// owns its source.
+type Source interface {
+	// Meta returns the dataset's metadata. It is valid before the first
+	// Next call.
+	Meta() Meta
+	// Next returns the next event; ok is false once the stream is
+	// drained, after which every call keeps returning ok = false.
+	Next() (ev events.Event, ok bool)
+}
+
+// SliceSource streams a materialized dataset's events in (Day, ID) order —
+// the adapter that turns the batch micro/PATCG/Criteo generators into
+// streaming inputs. It copies the slice header and sorts the copy, so the
+// dataset's own event order is left untouched; memory stays O(dataset),
+// which is what the generator-backed sources avoid.
+type SliceSource struct {
+	meta   Meta
+	events []events.Event
+	next   int
+}
+
+// Stream returns a source over the dataset's events in day order.
+func (d *Dataset) Stream() *SliceSource {
+	evs := make([]events.Event, len(d.Events))
+	copy(evs, d.Events)
+	sort.Slice(evs, func(i, j int) bool { return evs[i].Before(evs[j]) })
+	return &SliceSource{meta: d.Meta(), events: evs}
+}
+
+// Meta implements Source.
+func (s *SliceSource) Meta() Meta { return s.meta }
+
+// Next implements Source.
+func (s *SliceSource) Next() (events.Event, bool) {
+	if s.next >= len(s.events) {
+		return events.Event{}, false
+	}
+	ev := s.events[s.next]
+	s.next++
+	return ev, true
+}
+
+// Meta returns the dataset's metadata view.
+func (d *Dataset) Meta() Meta {
+	return Meta{
+		Name:              d.Name,
+		PopulationDevices: d.PopulationDevices,
+		DurationDays:      d.DurationDays,
+		Advertisers:       d.Advertisers,
+	}
+}
+
+// Materialize drains a source into an ordinary in-memory Dataset — the
+// bridge from any streaming source to the batch engine, which the
+// streaming-vs-batch equivalence contract runs both modes against.
+func Materialize(s Source) *Dataset {
+	m := s.Meta()
+	ds := &Dataset{
+		Name:              m.Name,
+		PopulationDevices: m.PopulationDevices,
+		DurationDays:      m.DurationDays,
+		Advertisers:       m.Advertisers,
+	}
+	for {
+		ev, ok := s.Next()
+		if !ok {
+			return ds
+		}
+		ds.Events = append(ds.Events, ev)
+	}
+}

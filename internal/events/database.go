@@ -17,12 +17,16 @@ type DeviceEpoch struct {
 // on-device engine only ever reads its own device's rows, preserving the
 // paper's trust model.
 //
-// A Database has two phases. While loading, Record appends events and the
-// structure must not be shared across goroutines. Freeze ends the loading
-// phase: it compiles a dense per-(device, epoch) index so EpochEvents on the
-// report hot path is a single bounds-checked slice lookup, and from then on
-// the database is immutable and safe for any number of concurrent readers
-// (the parallel fleet engine reads it from every worker).
+// A Database has two phases. While loading, Record appends and EvictBefore
+// reclaims; no reader or writer may run concurrently with either, but
+// concurrent *read-only* phases are fine as long as they never overlap a
+// mutation — the streaming service relies on exactly this, alternating a
+// single-writer ingest phase with a fan-out read phase on its day clock.
+// Freeze ends the loading phase: it compiles a dense per-(device, epoch)
+// index so EpochEvents on the report hot path is a single bounds-checked
+// slice lookup, and from then on the database is immutable and safe for any
+// number of concurrent readers with no phase discipline at all (the batch
+// fleet engine reads it from every worker).
 type Database struct {
 	devices map[DeviceID]*deviceStore
 	nextID  EventID
@@ -88,6 +92,33 @@ func (db *Database) Freeze() {
 
 // Frozen reports whether the database has been frozen.
 func (db *Database) Frozen() bool { return db.frozen }
+
+// EvictBefore removes every device-epoch record with epoch < first,
+// releasing the events' memory, and drops devices left with no records. It
+// is the streaming ingestion's retention primitive: a day-ordered event
+// stream never revisits old epochs, and once no in-flight query window can
+// reach below first, those records are dead weight. Only valid during the
+// loading phase — a frozen database is immutable, and its dense index could
+// not shrink anyway — and, like Record, not safe for concurrent use.
+// It returns the number of device-epoch records removed.
+func (db *Database) EvictBefore(first Epoch) int {
+	if db.frozen {
+		panic("events: EvictBefore on frozen database")
+	}
+	removed := 0
+	for d, ds := range db.devices {
+		for e := range ds.epochs {
+			if e < first {
+				delete(ds.epochs, e)
+				removed++
+			}
+		}
+		if len(ds.epochs) == 0 {
+			delete(db.devices, d)
+		}
+	}
+	return removed
+}
 
 // buildIndex compiles the epoch map into a dense slice spanning the device's
 // populated epoch range.

@@ -214,6 +214,53 @@ func TestFreezeRejectsRecord(t *testing.T) {
 	db.Record(0, imp(2, 1, 2, "a"))
 }
 
+func TestEvictBefore(t *testing.T) {
+	db := NewDatabase()
+	// Device 1 spans epochs 0..3; device 2 only epoch 0.
+	for e := 0; e < 4; e++ {
+		db.Record(Epoch(e), imp(EventID(e+1), 1, e*7, "a"))
+	}
+	db.Record(0, imp(10, 2, 0, "a"))
+
+	if removed := db.EvictBefore(0); removed != 0 {
+		t.Fatalf("EvictBefore(0) removed %d records, want 0", removed)
+	}
+	if removed := db.EvictBefore(2); removed != 3 {
+		t.Fatalf("EvictBefore(2) removed %d records, want 3", removed)
+	}
+	// Evicted epochs read as empty; surviving epochs are intact.
+	if evs := db.EpochEvents(1, 1); evs != nil {
+		t.Fatalf("evicted epoch still has %d events", len(evs))
+	}
+	if evs := db.EpochEvents(1, 2); len(evs) != 1 {
+		t.Fatalf("surviving epoch has %d events, want 1", len(evs))
+	}
+	// Device 2 lost its only record and is gone entirely.
+	if n := db.NumDevices(); n != 1 {
+		t.Fatalf("devices after eviction = %d, want 1", n)
+	}
+	if n := db.NumRecords(); n != 2 {
+		t.Fatalf("records after eviction = %d, want 2", n)
+	}
+	// Ingestion continues at and above the horizon.
+	db.Record(5, imp(11, 1, 35, "a"))
+	if evs := db.EpochEvents(1, 5); len(evs) != 1 {
+		t.Fatalf("post-eviction record lost: %d events", len(evs))
+	}
+}
+
+func TestEvictBeforePanicsWhenFrozen(t *testing.T) {
+	db := NewDatabase()
+	db.Record(0, imp(1, 1, 0, "a"))
+	db.Freeze()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EvictBefore on a frozen database did not panic")
+		}
+	}()
+	db.EvictBefore(1)
+}
+
 func TestFrozenConcurrentReaders(t *testing.T) {
 	db := NewDatabase()
 	for i := 0; i < 200; i++ {

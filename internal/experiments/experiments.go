@@ -9,6 +9,8 @@ package experiments
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/workload"
 )
 
 // Options tunes harness scale.
@@ -16,7 +18,7 @@ type Options struct {
 	// Quick shrinks datasets so a harness finishes in roughly a second;
 	// used by unit tests and the smoke benchmarks. Full-scale runs (the
 	// default) regenerate the figures at the scaled-down sizes recorded
-	// in DESIGN.md.
+	// in DESIGN.md (§3).
 	Quick bool
 	// Seed offsets all dataset and noise seeds, for replication studies.
 	Seed uint64
@@ -24,6 +26,22 @@ type Options struct {
 	// pool (0 = GOMAXPROCS, 1 = sequential). Results are identical for
 	// any value; the knob only trades wall-clock for cores.
 	Parallelism int
+	// Streaming routes every workload run through the online measurement
+	// service (internal/stream) instead of the batch engine: events are
+	// ingested as a day-ordered stream and queries fire as their batches
+	// fill. Results are bit-identical to batch mode (DESIGN.md §6), so
+	// every figure reproduces exactly; the knob exists to exercise the
+	// streaming path at full experiment scale.
+	Streaming bool
+}
+
+// run executes one workload configuration in the mode Options selects —
+// the single seam through which every harness reaches the engine.
+func (o Options) run(cfg workload.Config) (*workload.Run, error) {
+	if o.Streaming {
+		return workload.ExecuteStream(cfg)
+	}
+	return workload.Execute(cfg)
 }
 
 // Table is a printable result table: one per figure panel.

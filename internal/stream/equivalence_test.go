@@ -1,0 +1,290 @@
+package stream_test
+
+// The streaming-vs-batch equivalence suite: the batch engine
+// (workload.Execute) is the specification, the streaming service is the
+// online implementation, and the contract is bit-identical QueryResults —
+// same estimates, same denial counts, same budget trajectories — for the
+// same seed and scenario, at any parallelism and any queue size.
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/stream"
+	"repro/internal/workload"
+)
+
+func smallMicro(t *testing.T, knob1, knob2 float64) *dataset.Dataset {
+	t.Helper()
+	cfg := dataset.DefaultMicroConfig()
+	cfg.BatchSize = 100
+	cfg.Knob1 = knob1
+	cfg.Knob2 = knob2
+	ds, err := dataset.Micro(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func smallCriteo(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	cfg := dataset.DefaultCriteoConfig()
+	cfg.Advertisers = 30
+	cfg.Users = 3000
+	cfg.TotalConversions = 12000
+	cfg.MinBatch = 150
+	ds, err := dataset.Criteo(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// resultsIdentical compares QueryResult slices bit-for-bit (struct equality
+// covers every field including the budget snapshot; the NaN RMSRE of
+// unexecuted queries is normalized first).
+func resultsIdentical(t *testing.T, label string, a, b []workload.QueryResult) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: %d vs %d results", label, len(a), len(b))
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		nx, ny := math.IsNaN(x.RMSRE), math.IsNaN(y.RMSRE)
+		if nx && ny {
+			x.RMSRE, y.RMSRE = 0, 0
+		}
+		if x != y {
+			t.Fatalf("%s: query %d differs:\n  batch:  %+v\n  stream: %+v", label, i, a[i], b[i])
+		}
+	}
+}
+
+// metricsIdentical compares every post-run budget metric the experiment
+// harnesses read.
+func metricsIdentical(t *testing.T, label string, batch, streamed *workload.Run) {
+	t.Helper()
+	bAvg, bMax := batch.BudgetStats()
+	sAvg, sMax := streamed.BudgetStats()
+	if bAvg != sAvg || bMax != sMax {
+		t.Fatalf("%s: budget stats (%v, %v) != (%v, %v)", label, sAvg, sMax, bAvg, bMax)
+	}
+	if b, s := batch.PopulationAvgBudget(), streamed.PopulationAvgBudget(); b != s {
+		t.Fatalf("%s: population avg budget %v != %v", label, s, b)
+	}
+	if b, s := batch.ExecutedFraction(), streamed.ExecutedFraction(); b != s {
+		t.Fatalf("%s: executed fraction %v != %v", label, s, b)
+	}
+	if b, s := batch.RequestedDeviceEpochs(), streamed.RequestedDeviceEpochs(); b != s {
+		t.Fatalf("%s: requested device-epochs %d != %d", label, s, b)
+	}
+	bp, sp := batch.PerPairAverages(), streamed.PerPairAverages()
+	if len(bp) != len(sp) {
+		t.Fatalf("%s: %d pair averages, want %d", label, len(sp), len(bp))
+	}
+	for i := range bp {
+		if bp[i] != sp[i] {
+			t.Fatalf("%s: pair average %d: %v != %v", label, i, sp[i], bp[i])
+		}
+	}
+}
+
+// TestStreamingBatchEquivalence is the tentpole's acceptance check: for
+// every system (and with bias measurement and an ablation policy override),
+// the streaming service must reproduce the batch engine's QueryResults
+// bit-identically at parallelism 1, 4, and GOMAXPROCS.
+func TestStreamingBatchEquivalence(t *testing.T) {
+	ds := smallMicro(t, 1.0, 0.5)
+	biasSpec := &core.BiasSpec{LastTouch: true}
+	cases := []struct {
+		name string
+		cfg  workload.Config
+	}{
+		{"cookie-monster", workload.Config{Dataset: ds, System: workload.CookieMonster, EpsilonG: 2, Seed: 7}},
+		{"ara-like", workload.Config{Dataset: ds, System: workload.ARALike, EpsilonG: 2, Seed: 7}},
+		{"ipa-like", workload.Config{Dataset: ds, System: workload.IPALike, EpsilonG: 2, Seed: 7}},
+		{"cm-bias", workload.Config{Dataset: ds, System: workload.CookieMonster, EpsilonG: 2, Seed: 7, Bias: biasSpec}},
+		{"ablation-policy", workload.Config{Dataset: ds, System: workload.CookieMonster, EpsilonG: 2, Seed: 7,
+			PolicyOverride: core.ZeroLossOnlyPolicy{}}},
+		{"capped-queries", workload.Config{Dataset: ds, System: workload.CookieMonster, EpsilonG: 2, Seed: 7,
+			MaxQueriesPerProduct: 1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			seq := tc.cfg
+			seq.Parallelism = 1
+			batch, err := workload.Execute(seq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(batch.Results) == 0 {
+				t.Fatal("batch run produced no queries")
+			}
+			for _, par := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+				cfg := tc.cfg
+				cfg.Parallelism = par
+				streamed, err := workload.ExecuteStream(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				label := tc.name
+				resultsIdentical(t, label, batch.Results, streamed.Results)
+				metricsIdentical(t, label, batch, streamed)
+			}
+		})
+	}
+}
+
+// TestStreamingEquivalenceCriteo covers the multi-advertiser case, where
+// many queriers' batches fill on the same day and the service multiplexes
+// them through one super-batch — the regime where a wrong canonical order or
+// a device shared across queriers would diverge from the batch schedule.
+func TestStreamingEquivalenceCriteo(t *testing.T) {
+	ds := smallCriteo(t)
+	for _, system := range workload.Systems {
+		cfg := workload.Config{Dataset: ds, System: system, EpsilonG: 2, Seed: 11}
+		batch, err := workload.Execute(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(batch.Results) < 10 {
+			t.Fatalf("criteo run produced only %d queries", len(batch.Results))
+		}
+		cfg.Parallelism = runtime.GOMAXPROCS(0)
+		streamed, err := workload.ExecuteStream(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resultsIdentical(t, system.String(), batch.Results, streamed.Results)
+		metricsIdentical(t, system.String(), batch, streamed)
+	}
+}
+
+// TestStreamingEquivalenceSyntheticSource runs the generator-backed source
+// both ways: materialized through the batch engine, and streamed directly —
+// the trace is never held in memory on the streaming side.
+func TestStreamingEquivalenceSyntheticSource(t *testing.T) {
+	cfg := dataset.DefaultSyntheticConfig()
+	cfg.Population = 2000
+	cfg.BatchSize = 200
+	cfg.ImpressionsPerDay = 0.3
+	newSource := func() dataset.Source {
+		src, err := dataset.NewSynthetic(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return src
+	}
+	wcfg := workload.Config{Dataset: dataset.Materialize(newSource()), System: workload.CookieMonster,
+		EpsilonG: 2, Seed: 3}
+	batch, err := workload.Execute(wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Results) == 0 {
+		t.Fatal("no queries from synthetic source")
+	}
+	// The streaming side passes no Dataset at all: the scenario comes from
+	// the source's metadata, and the Run's metrics must still work
+	// (metricsIdentical reads the population- and advertiser-dependent
+	// ones).
+	scfg := wcfg
+	scfg.Dataset = nil
+	streamed, err := workload.ExecuteSource(scfg, newSource())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resultsIdentical(t, "synthetic", batch.Results, streamed.Results)
+	metricsIdentical(t, "synthetic", batch, streamed)
+}
+
+// serveRaw drives a stream.Service directly for service-level knobs the
+// workload client does not expose (queue size, lean retention).
+func serveRaw(t *testing.T, cfg stream.Config) *stream.Run {
+	t.Helper()
+	svc, err := stream.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := svc.Serve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return run
+}
+
+func streamResultsIdentical(t *testing.T, label string, a, b []stream.Result) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: %d vs %d results", label, len(a), len(b))
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		if math.IsNaN(x.RMSRE) && math.IsNaN(y.RMSRE) {
+			x.RMSRE, y.RMSRE = 0, 0
+		}
+		if x != y {
+			t.Fatalf("%s: query %d differs:\n  %+v\n  %+v", label, i, a[i], b[i])
+		}
+	}
+}
+
+// TestBackpressureInvariance pins the other half of the bounded-memory
+// claim: a one-slot ingest queue throttles the producer to lockstep with
+// the day clock yet changes nothing about the results.
+func TestBackpressureInvariance(t *testing.T) {
+	ds := smallMicro(t, 1.0, 0.5)
+	base := stream.Config{Source: ds.Stream(), EpsilonG: 2, Seed: 7}
+	wide := base
+	wide.QueueSize = 4096
+	narrow := base
+	narrow.Source = ds.Stream()
+	narrow.QueueSize = 1
+	runWide := serveRaw(t, wide)
+	runNarrow := serveRaw(t, narrow)
+	streamResultsIdentical(t, "queue=1 vs queue=4096", runWide.Results, runNarrow.Results)
+	if runNarrow.PeakQueue > 1 {
+		t.Fatalf("one-slot queue reported peak depth %d", runNarrow.PeakQueue)
+	}
+	if runWide.EventsIngested != runNarrow.EventsIngested {
+		t.Fatalf("ingest counts differ: %d vs %d", runWide.EventsIngested, runNarrow.EventsIngested)
+	}
+}
+
+// TestLeanRetentionInvariance checks the long-running-service mode: device
+// filters and event records below the horizon are reclaimed, the
+// requested-epoch accounting is off — and the query results are still
+// bit-identical.
+func TestLeanRetentionInvariance(t *testing.T) {
+	ds := smallMicro(t, 0.5, 0.5)
+	full := stream.Config{Source: ds.Stream(), EpsilonG: 2, Seed: 7}
+	lean := full
+	lean.Source = ds.Stream()
+	lean.Lean = true
+	runFull := serveRaw(t, full)
+	runLean := serveRaw(t, lean)
+	streamResultsIdentical(t, "lean vs full", runFull.Results, runLean.Results)
+	if runLean.Requested != nil {
+		t.Fatal("lean run kept requested-epoch accounting")
+	}
+	if runLean.EvictedRecords == 0 {
+		t.Fatal("lean run evicted no event records")
+	}
+	if runLean.ReleasedFilters == 0 {
+		t.Fatal("lean run released no device filters")
+	}
+	if runLean.RetiredNonces == 0 {
+		t.Fatal("lean run retired no nonces")
+	}
+	// Retention keeps resident state to the attribution window, so the
+	// peak must sit well below the total record count ingested.
+	totalRecords := ds.Build(7).NumRecords()
+	if runLean.PeakResidentRecords >= totalRecords {
+		t.Fatalf("peak resident records %d not below trace total %d",
+			runLean.PeakResidentRecords, totalRecords)
+	}
+}

@@ -1,0 +1,118 @@
+package stream
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/events"
+)
+
+// This file holds the deterministic fan-out primitives shared by the batch
+// engine (internal/workload's generate stage) and the streaming service's
+// per-day multiplexed generation. Both rely on the same two properties:
+// work partitioned by device keeps same-device filter operations sequential
+// in submission order, and index-addressed output slots make the fold order
+// independent of the goroutine schedule.
+
+// FanOut runs fn(job) for jobs [0, n) on up to workers goroutines, pulling
+// jobs from an atomic queue. It propagates the first panic to the caller and
+// returns once every job finished.
+func FanOut(n, workers int, fn func(job int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for job := 0; job < n; job++ {
+			fn(job)
+		}
+		return
+	}
+	var next atomic.Int64
+	var panicMu sync.Mutex
+	var panicked any
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicked == nil {
+						panicked = r
+					}
+					panicMu.Unlock()
+				}
+			}()
+			for {
+				job := int(next.Add(1)) - 1
+				if job >= n {
+					return
+				}
+				fn(job)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}
+
+// GroupByDevice partitions batch indices by device, groups ordered by first
+// appearance and each group preserving batch order — the unit of parallel
+// work that keeps same-device filter operations sequential. When the batch
+// concatenates several queries' conversions in canonical query order, the
+// groups serialize a device's operations across all of them, which is what
+// lets the streaming service multiplex queriers concurrently and still match
+// the batch engine bit for bit.
+func GroupByDevice(batch []events.Event) [][]int {
+	order := make(map[events.DeviceID]int, len(batch))
+	var groups [][]int
+	for i, conv := range batch {
+		g, ok := order[conv.Device]
+		if !ok {
+			g = len(groups)
+			order[conv.Device] = g
+			groups = append(groups, nil)
+		}
+		groups[g] = append(groups[g], i)
+	}
+	return groups
+}
+
+// GenerateReports runs the on-device generate stage for one batch of
+// conversions: device-grouped GenerateReport calls fanned out across
+// workers, reports and diagnostics slotted by conversion index. This is the
+// single copy of the determinism-critical loop both engines execute — the
+// batch engine per query batch, the streaming service per day super-batch.
+func GenerateReports(fleet *core.Fleet, reqs []*core.Request, batch []events.Event,
+	workers int) (reports []*core.Report, diags []*core.Diagnostics) {
+	reports = make([]*core.Report, len(batch))
+	diags = make([]*core.Diagnostics, len(batch))
+	groups := GroupByDevice(batch)
+	FanOut(len(groups), workers, func(g int) {
+		for _, i := range groups[g] {
+			dev := fleet.GetOrCreate(batch[i].Device)
+			rep, diag, err := dev.GenerateReport(reqs[i])
+			if err != nil {
+				panic("stream: internal request invalid: " + err.Error())
+			}
+			reports[i], diags[i] = rep, diag
+		}
+	})
+	return reports, diags
+}
+
+// TrueValues runs the centralized generate stage: every conversion's true
+// report value computed from the full data. The reads are side-effect free,
+// so the fan-out needs no device grouping.
+func TrueValues(db *events.Database, reqs []*core.Request, batch []events.Event,
+	workers int) []float64 {
+	out := make([]float64, len(batch))
+	FanOut(len(batch), workers, func(i int) {
+		out[i] = core.TrueReportValue(db, batch[i].Device, reqs[i])
+	})
+	return out
+}

@@ -1,0 +1,130 @@
+package stream
+
+import (
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/events"
+	"repro/internal/privacy"
+)
+
+// The incremental planner is the streaming counterpart of the batch engine's
+// plan(): each queryable advertiser's conversions accumulate per product
+// into time-ordered batches of B, and a query becomes due the moment its
+// B-th conversion arrives (the paper's "once B reports are gathered, Nike
+// runs its query" loop, now clocked by arrival instead of replayed from a
+// materialized trace). Because the source delivers conversions in the same
+// (Day, ID) order the batch planner sorts them into, the two produce
+// identical batch boundaries, fire days, and requested ε — the first half of
+// the streaming-vs-batch equivalence argument.
+
+// pendingQuery is one filled batch awaiting execution.
+type pendingQuery struct {
+	adv     dataset.Advertiser
+	product string
+	batch   []events.Event // the B conversions, in arrival order
+	fireDay int            // day the batch filled
+	seq     int            // batch index within the stream (sort tie-break)
+	epsilon float64
+
+	// Execution scratch, populated by the day flush (executor.go).
+	reqs        []*core.Request
+	first, last events.Epoch
+}
+
+// streamKey identifies one advertiser×product query stream.
+type streamKey struct {
+	site    events.Site
+	product string
+}
+
+// streamState accumulates one query stream.
+type streamState struct {
+	adv     dataset.Advertiser
+	product string
+	epsilon float64
+	pending []events.Event
+	seq     int
+	capped  bool
+}
+
+// planner tracks every open query stream. Memory is bounded by one open
+// batch per stream (B conversions each), independent of trace length.
+type planner struct {
+	advBySite  map[events.Site]dataset.Advertiser
+	streams    map[streamKey]*streamState
+	maxQueries int
+	cal        privacy.Calibration
+	fixedEps   float64
+}
+
+func newPlanner(meta dataset.Meta, cal privacy.Calibration, fixedEps float64, maxQueries int) *planner {
+	advBySite := make(map[events.Site]dataset.Advertiser, len(meta.Advertisers))
+	for _, adv := range meta.Advertisers {
+		advBySite[adv.Site] = adv
+	}
+	return &planner{
+		advBySite:  advBySite,
+		streams:    make(map[streamKey]*streamState),
+		maxQueries: maxQueries,
+		cal:        cal,
+		fixedEps:   fixedEps,
+	}
+}
+
+// add routes one conversion to its stream and returns the query it
+// completed, or nil. Conversions from non-queryable advertisers are
+// ignored; capped streams drop conversions immediately so they cannot pin
+// the retention horizon.
+func (p *planner) add(conv events.Event) *pendingQuery {
+	adv, ok := p.advBySite[conv.Advertiser]
+	if !ok {
+		return nil
+	}
+	key := streamKey{conv.Advertiser, conv.Product}
+	st := p.streams[key]
+	if st == nil {
+		eps := p.fixedEps
+		if eps <= 0 {
+			eps = p.cal.Epsilon(adv.MaxValue, adv.BatchSize, adv.AvgReportValue)
+		}
+		st = &streamState{adv: adv, product: conv.Product, epsilon: eps}
+		p.streams[key] = st
+	}
+	if st.capped {
+		return nil
+	}
+	st.pending = append(st.pending, conv)
+	if len(st.pending) < adv.BatchSize {
+		return nil
+	}
+	q := &pendingQuery{
+		adv:     adv,
+		product: st.product,
+		batch:   st.pending,
+		fireDay: conv.Day,
+		seq:     st.seq,
+		epsilon: st.epsilon,
+	}
+	st.pending = nil
+	st.seq++
+	if p.maxQueries > 0 && st.seq >= p.maxQueries {
+		st.capped = true
+	}
+	return q
+}
+
+// minPendingDay returns the earliest day among buffered conversions across
+// all open streams — the oldest attribution window any future query can
+// still reach — and whether any conversion is pending at all.
+func (p *planner) minPendingDay() (int, bool) {
+	min, found := 0, false
+	for _, st := range p.streams {
+		if st.capped || len(st.pending) == 0 {
+			continue
+		}
+		if d := st.pending[0].Day; !found || d < min {
+			min, found = d, true
+		}
+	}
+	return min, found
+}

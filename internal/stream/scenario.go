@@ -1,0 +1,68 @@
+package stream
+
+import (
+	"repro/internal/attribution"
+	"repro/internal/bias"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/events"
+	"repro/internal/privacy"
+)
+
+// This file holds the scenario constructions shared verbatim by the batch
+// engine (internal/workload) and the streaming executor. They define the
+// content of reports and released results, so the streaming-vs-batch
+// bit-equivalence contract depends on there being exactly one copy of each.
+
+// BuildRequest constructs the §6.1 attribution request for one conversion:
+// last-touch scalar-value attribution over the windowDays window ending on
+// the conversion day, with the advertiser's query sensitivity and, when
+// biasSpec is non-nil, the Appendix F side query (Kappa ≤ 0 selects the
+// paper's default of 10% of the query sensitivity).
+func BuildRequest(adv dataset.Advertiser, product string, conv events.Event,
+	eps float64, windowDays, epochDays int, biasSpec *core.BiasSpec) *core.Request {
+	firstDay := conv.Day - windowDays + 1
+	first, last := events.EpochWindow(conv.Day, windowDays, epochDays)
+	req := &core.Request{
+		Querier:    adv.Site,
+		FirstEpoch: first,
+		LastEpoch:  last,
+		Selector: events.WindowSelector{
+			Inner:    events.ProductSelector{Advertiser: adv.Site, Product: product},
+			FirstDay: firstDay,
+			LastDay:  conv.Day,
+		},
+		Function:          attribution.ScalarValue{Value: conv.Value},
+		Epsilon:           eps,
+		ReportSensitivity: conv.Value,
+		QuerySensitivity:  adv.MaxValue,
+		PNorm:             1,
+	}
+	if biasSpec != nil {
+		spec := *biasSpec
+		if spec.Kappa <= 0 {
+			spec.Kappa = 0.1 * adv.MaxValue // the paper's 10% scaling
+		}
+		req.Bias = &spec
+	}
+	return req
+}
+
+// BiasBound computes the querier-side RMSRE upper bound from one query's
+// noisy side-query count (Appendix F), with the same Kappa defaulting as
+// BuildRequest.
+func BiasBound(biasCount, estimate float64, adv dataset.Advertiser,
+	eps float64, batch int, spec *core.BiasSpec, beta float64) float64 {
+	kappa := spec.Kappa
+	if kappa <= 0 {
+		kappa = 0.1 * adv.MaxValue
+	}
+	bound := bias.Compute(biasCount, estimate, bias.Params{
+		Kappa:       kappa,
+		NoiseStdDev: privacy.NoiseStdDev(adv.MaxValue, eps),
+		Beta:        beta,
+		DeltaMax:    adv.MaxValue,
+		ScaleFloor:  float64(batch) * adv.AvgReportValue,
+	})
+	return bound.RMSRE
+}

@@ -1,0 +1,378 @@
+// Package stream is the online measurement service: it turns the repository's
+// plan→generate→aggregate batch pipeline (internal/workload) into a
+// long-running system that ingests day-stamped events as they arrive and
+// fires each advertiser's summation query the moment its batch fills.
+//
+// Architecture (DESIGN.md §6):
+//
+//   - A dataset.Source delivers events in (Day, ID) order through a bounded
+//     ingest queue. The queue is the service's backpressure valve: when
+//     query execution falls behind, the producer blocks, so peak memory is
+//     set by the queue capacity and the attribution-window retention
+//     horizon — never by trace length.
+//   - Ingestion is day-clocked. All of day d's events land in the event
+//     store before any day-d query fires; queries only read windows ending
+//     at or before d, so the generate stage's concurrent readers never
+//     overlap the (single-writer) ingest phase and the store needs no read
+//     locks.
+//   - Queries due on the same day execute as one multiplexed super-batch:
+//     their conversions concatenate in canonical (site, product, seq)
+//     order, partition by device, and fan out across the worker pool over
+//     core.Fleet. Aggregation then releases each query sequentially in the
+//     same canonical order, drawing noise from the run's seeded stream.
+//   - Retention: once no open batch's attribution window can reach below an
+//     epoch, the event store evicts it (events.Database.EvictBefore), the
+//     aggregation service retires the day's consumed nonces
+//     (aggregation.Service.Compact), and — in Lean mode — the fleet
+//     advances every device's retention floor.
+//
+// Equivalence contract: the canonical execution order (fireDay, site,
+// product, seq) is exactly the batch engine's plan order, per-device
+// operations serialize identically inside the super-batch, and noise streams
+// are consumed in the same sequence — so a streaming run over a source is
+// bit-identical to a batch run over the materialized dataset, at any
+// parallelism and any queue size. internal/stream's equivalence tests hold
+// the two implementations to that contract, in the spirit of showing an
+// optimistic online system equivalent to its batch specification.
+package stream
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/aggregation"
+	"repro/internal/budget"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/events"
+	"repro/internal/privacy"
+	"repro/internal/stats"
+)
+
+// Config parameterizes one streaming service instance. The scenario knobs
+// (epoch length, window, budgets, calibration, bias) have the same meaning
+// as the batch engine's workload.Config; the service-only knobs tune the
+// ingest queue and retention behaviour.
+type Config struct {
+	// Source supplies the event stream and the dataset metadata.
+	Source dataset.Source
+	// EpochDays is the on-device epoch length (7 by default).
+	EpochDays int
+	// WindowDays is the attribution window (30 by default).
+	WindowDays int
+	// EpsilonG is the per-epoch budget capacity ε^G.
+	EpsilonG float64
+	// Calibration derives each advertiser's requested ε. Ignored when
+	// FixedEpsilon > 0.
+	Calibration privacy.Calibration
+	// FixedEpsilon, when positive, uses the same requested ε everywhere.
+	FixedEpsilon float64
+	// Bias, when non-nil, runs the Appendix F side query with every
+	// report.
+	Bias *core.BiasSpec
+	// Seed drives the aggregation (and IPA-like) noise streams.
+	Seed uint64
+	// Parallelism bounds the worker pool for the multiplexed generate
+	// stage. 0 selects GOMAXPROCS; results are bit-identical for every
+	// value.
+	Parallelism int
+	// MaxQueriesPerProduct truncates each product's query schedule
+	// (0 = run every full batch).
+	MaxQueriesPerProduct int
+	// Policy is the on-device loss policy; nil selects
+	// core.CookieMonsterPolicy. Ignored when Central is set.
+	Policy core.LossPolicy
+	// Central, when true, runs the IPA-like centralized baseline: budget
+	// is authorized per query at a population-wide filter and attribution
+	// is computed on the full data.
+	Central bool
+
+	// QueueSize bounds the ingest queue (the backpressure window between
+	// the source and the day clock). 0 selects a default of 1024 events.
+	QueueSize int
+	// Lean selects long-running-service retention: device filters below
+	// the horizon are released (core.Fleet.AdvanceEpochFloor) and the
+	// per-device-epoch requested-budget accounting behind the Fig. 4
+	// metrics is skipped. Query results are bit-identical either way;
+	// Lean trades post-run budget metrics for bounded resident state.
+	Lean bool
+}
+
+// withDefaults fills zero values.
+func (c Config) withDefaults() Config {
+	if c.EpochDays == 0 {
+		c.EpochDays = 7
+	}
+	if c.WindowDays == 0 {
+		c.WindowDays = 30
+	}
+	if c.EpsilonG == 0 {
+		c.EpsilonG = 1
+	}
+	if c.Calibration == (privacy.Calibration{}) {
+		c.Calibration = privacy.DefaultCalibration
+	}
+	if c.Parallelism == 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueSize == 0 {
+		c.QueueSize = 1024
+	}
+	if c.Policy == nil && !c.Central {
+		c.Policy = core.CookieMonsterPolicy{}
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.Source == nil:
+		return fmt.Errorf("stream: nil source")
+	case c.EpochDays <= 0 || c.WindowDays <= 0:
+		return fmt.Errorf("stream: non-positive epoch or window length")
+	case c.EpsilonG < 0:
+		return fmt.Errorf("stream: negative capacity")
+	case c.FixedEpsilon < 0:
+		return fmt.Errorf("stream: negative fixed epsilon")
+	case c.Parallelism < 0:
+		return fmt.Errorf("stream: negative parallelism")
+	case c.QueueSize < 0:
+		return fmt.Errorf("stream: negative queue size")
+	}
+	return nil
+}
+
+// Result records one summation query's outcome. Fields mirror the batch
+// engine's QueryResult one-for-one; the equivalence tests compare them
+// bit-for-bit.
+type Result struct {
+	Querier  events.Site
+	Product  string
+	Index    int
+	Batch    int
+	Epsilon  float64
+	Executed bool
+	Truth    float64
+	Estimate float64
+	RMSRE    float64
+	// FireDay is the day the batch filled and the query ran — streaming
+	// observability the batch engine derives from its plan.
+	FireDay        int
+	DeniedReports  int
+	BiasedReports  int
+	BiasEstimate   float64
+	FirstEpoch     events.Epoch
+	LastEpoch      events.Epoch
+	AvgBudgetAfter float64
+}
+
+// DevEpoch identifies a requested device-epoch in the Run's accounting.
+type DevEpoch struct {
+	Device events.DeviceID
+	Epoch  events.Epoch
+}
+
+// Run is a completed streaming execution: per-query results plus the final
+// budget state and the service's ingest/retention telemetry.
+type Run struct {
+	Meta        dataset.Meta
+	Results     []Result
+	TotalEpochs int
+
+	// Fleet is the device registry with its final filter state (for
+	// on-device runs).
+	Fleet *core.Fleet
+	// Central is the population-wide budgeter (for Central runs).
+	Central *budget.IPALike
+	// Requested maps each device-epoch touched by a query window to the
+	// queriers that touched it (nil in Lean mode).
+	Requested map[DevEpoch]map[events.Site]struct{}
+	// TotalConsumed is the summed consumed privacy loss across all
+	// device-epochs.
+	TotalConsumed float64
+	// FirstSpanEpoch and LastSpanEpoch delimit every epoch a query window
+	// can touch.
+	FirstSpanEpoch, LastSpanEpoch events.Epoch
+
+	// EventsIngested counts events drained from the source.
+	EventsIngested int
+	// PeakQueue is the deepest the ingest queue got — how close the
+	// service came to exerting backpressure.
+	PeakQueue int
+	// PeakResidentRecords is the maximum number of device-epoch records
+	// resident in the event store at any day boundary; with retention on,
+	// it tracks the attribution window rather than the trace length.
+	PeakResidentRecords int
+	// EvictedRecords counts device-epoch records reclaimed by retention.
+	EvictedRecords int
+	// RetiredNonces counts replay-protection entries reclaimed by
+	// aggregation compaction.
+	RetiredNonces int
+	// ReleasedFilters counts device filters reclaimed in Lean mode.
+	ReleasedFilters int
+}
+
+// Service is the online measurement service. Create one with New, then
+// drive it to completion with Serve.
+type Service struct {
+	cfg  Config
+	meta dataset.Meta
+
+	db       *events.Database
+	fleet    *core.Fleet
+	central  *budget.IPALike
+	agg      *aggregation.Service
+	ipaNoise *stats.RNG
+	plan     *planner
+	run      *Run
+
+	curDay     int
+	started    bool
+	due        []*pendingQuery
+	nextIndex  int
+	evictFloor events.Epoch
+}
+
+// New builds a service for cfg without consuming the source.
+func New(cfg Config) (*Service, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	meta := cfg.Source.Meta()
+	s := &Service{
+		cfg:  cfg,
+		meta: meta,
+		db:   events.NewDatabase(),
+		agg:  aggregation.NewService(stats.Stream(cfg.Seed, "aggregation-noise")),
+		plan: newPlanner(meta, cfg.Calibration, cfg.FixedEpsilon, cfg.MaxQueriesPerProduct),
+		run: &Run{
+			Meta:        meta,
+			TotalEpochs: meta.Epochs(cfg.EpochDays),
+		},
+		evictFloor: events.Epoch(-1 << 31),
+	}
+	policy := cfg.Policy
+	if policy == nil {
+		// Central runs never charge per-device policies; give the fleet
+		// a harmless default in case a device is ever instantiated.
+		policy = core.CookieMonsterPolicy{}
+	}
+	db, epsG := s.db, cfg.EpsilonG
+	s.fleet = core.NewFleet(0, func(id events.DeviceID) *core.Device {
+		return core.NewDevice(id, db, epsG, policy)
+	})
+	s.run.Fleet = s.fleet
+	if cfg.Central {
+		s.central = budget.NewIPALike(cfg.EpsilonG)
+		s.ipaNoise = stats.Stream(cfg.Seed, "ipa-noise")
+		s.run.Central = s.central
+	}
+	if !cfg.Lean {
+		s.run.Requested = make(map[DevEpoch]map[events.Site]struct{})
+	}
+	s.run.FirstSpanEpoch = events.EpochOfDay(1-cfg.WindowDays, cfg.EpochDays)
+	s.run.LastSpanEpoch = events.EpochOfDay(meta.DurationDays-1, cfg.EpochDays)
+	if s.run.LastSpanEpoch < s.run.FirstSpanEpoch {
+		s.run.LastSpanEpoch = s.run.FirstSpanEpoch
+	}
+	return s, nil
+}
+
+// Serve drains the source to completion: a producer goroutine feeds the
+// bounded ingest queue while the service's day clock ingests events, fires
+// due queries at each day boundary, and advances retention. It returns the
+// completed run. Serve is single-shot; the service cannot be reused.
+func (s *Service) Serve() (*Run, error) {
+	queue := make(chan events.Event, s.cfg.QueueSize)
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		defer close(queue)
+		for {
+			ev, ok := s.cfg.Source.Next()
+			if !ok {
+				return
+			}
+			select {
+			case queue <- ev:
+			case <-done:
+				return
+			}
+		}
+	}()
+
+	for ev := range queue {
+		// Occupancy after the receive: how much buffered backlog the
+		// producer built up while the day clock was busy.
+		if depth := len(queue); depth > s.run.PeakQueue {
+			s.run.PeakQueue = depth
+		}
+		if !s.started {
+			s.started = true
+			s.curDay = ev.Day
+		}
+		switch {
+		case ev.Day < s.curDay:
+			return nil, fmt.Errorf("stream: source out of order: day %d after day %d",
+				ev.Day, s.curDay)
+		case ev.Day > s.curDay:
+			if err := s.endOfDay(ev.Day); err != nil {
+				return nil, err
+			}
+			s.curDay = ev.Day
+		}
+		s.ingest(ev)
+	}
+	if s.started {
+		if err := s.endOfDay(s.curDay + 1); err != nil {
+			return nil, err
+		}
+	}
+	return s.run, nil
+}
+
+// ingest records one event and routes conversions to the planner.
+func (s *Service) ingest(ev events.Event) {
+	s.db.Record(events.EpochOfDay(ev.Day, s.cfg.EpochDays), ev)
+	s.run.EventsIngested++
+	if ev.IsConversion() {
+		if q := s.plan.add(ev); q != nil {
+			s.due = append(s.due, q)
+		}
+	}
+}
+
+// endOfDay closes out the current day before advancing to nextDay: it fires
+// every query whose batch filled today, then advances the retention horizon
+// now that those batches' windows are settled.
+func (s *Service) endOfDay(nextDay int) error {
+	if err := s.flushDue(); err != nil {
+		return err
+	}
+	s.advanceRetention(nextDay)
+	return nil
+}
+
+// advanceRetention computes the oldest epoch any future query window can
+// reach — bounded by the earliest still-pending conversion and the next
+// ingest day — and evicts everything below it from the event store, the
+// replay-protection set, and (in Lean mode) the device filters.
+func (s *Service) advanceRetention(nextDay int) {
+	if n := s.db.NumRecords(); n > s.run.PeakResidentRecords {
+		s.run.PeakResidentRecords = n
+	}
+	minLive := nextDay
+	if d, ok := s.plan.minPendingDay(); ok && d < minLive {
+		minLive = d
+	}
+	floor := events.EpochOfDay(minLive-s.cfg.WindowDays+1, s.cfg.EpochDays)
+	if floor <= s.evictFloor {
+		return
+	}
+	s.evictFloor = floor
+	s.run.EvictedRecords += s.db.EvictBefore(floor)
+	if s.cfg.Lean {
+		s.run.ReleasedFilters += s.fleet.AdvanceEpochFloor(floor)
+	}
+}

@@ -1,0 +1,147 @@
+package stream
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/events"
+)
+
+// fakeSource yields a fixed event slice with fixed metadata.
+type fakeSource struct {
+	meta dataset.Meta
+	evs  []events.Event
+	next int
+}
+
+func (f *fakeSource) Meta() dataset.Meta { return f.meta }
+func (f *fakeSource) Next() (events.Event, bool) {
+	if f.next >= len(f.evs) {
+		return events.Event{}, false
+	}
+	ev := f.evs[f.next]
+	f.next++
+	return ev, true
+}
+
+func testMeta() dataset.Meta {
+	return dataset.Meta{
+		Name:              "fake",
+		PopulationDevices: 10,
+		DurationDays:      30,
+		Advertisers: []dataset.Advertiser{{
+			Site:           "nike.example",
+			Products:       []string{"product-0"},
+			MaxValue:       10,
+			AvgReportValue: 1,
+			BatchSize:      2,
+		}},
+	}
+}
+
+func conv(id events.EventID, dev events.DeviceID, day int) events.Event {
+	return events.Event{
+		ID: id, Kind: events.KindConversion, Device: dev, Day: day,
+		Advertiser: "nike.example", Product: "product-0", Value: 1,
+	}
+}
+
+func TestServeEmptySource(t *testing.T) {
+	svc, err := New(Config{Source: &fakeSource{meta: testMeta()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := svc.Serve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Results) != 0 || run.EventsIngested != 0 {
+		t.Fatalf("empty source produced %+v", run)
+	}
+}
+
+func TestServeRejectsOutOfOrderSource(t *testing.T) {
+	src := &fakeSource{meta: testMeta(), evs: []events.Event{
+		conv(1, 1, 5), conv(2, 2, 3),
+	}}
+	svc, err := New(Config{Source: src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Serve(); err == nil || !strings.Contains(err.Error(), "out of order") {
+		t.Fatalf("out-of-order source gave err = %v", err)
+	}
+}
+
+func TestServeFiresBatchesOnFillDay(t *testing.T) {
+	// Batch size 2: conversions on days 1, 4 fill a batch on day 4; the
+	// next two on days 4, 9 fill on day 9; a trailing odd conversion
+	// never fires.
+	src := &fakeSource{meta: testMeta(), evs: []events.Event{
+		conv(1, 1, 1), conv(2, 2, 4), conv(3, 3, 4), conv(4, 4, 9), conv(5, 5, 11),
+	}}
+	svc, err := New(Config{Source: src, FixedEpsilon: 1, EpsilonG: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := svc.Serve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("got %d queries, want 2", len(run.Results))
+	}
+	if run.Results[0].FireDay != 4 || run.Results[1].FireDay != 9 {
+		t.Fatalf("fire days = %d, %d; want 4, 9",
+			run.Results[0].FireDay, run.Results[1].FireDay)
+	}
+	if run.Results[0].Index != 0 || run.Results[1].Index != 1 {
+		t.Fatalf("indices = %d, %d", run.Results[0].Index, run.Results[1].Index)
+	}
+	if run.EventsIngested != 5 {
+		t.Fatalf("ingested %d events, want 5", run.EventsIngested)
+	}
+}
+
+func TestPlannerCapDropsPendingAndHorizonAdvances(t *testing.T) {
+	// With MaxQueriesPerProduct = 1 the stream caps after its first
+	// batch; later conversions must not accumulate or pin retention.
+	src := &fakeSource{meta: testMeta(), evs: []events.Event{
+		conv(1, 1, 0), conv(2, 2, 0), conv(3, 3, 1), conv(4, 4, 25),
+		{ID: 5, Kind: events.KindImpression, Device: 1, Day: 29,
+			Publisher: "pub.example", Advertiser: "nike.example", Campaign: "product-0"},
+	}}
+	svc, err := New(Config{Source: src, FixedEpsilon: 1, EpsilonG: 100,
+		MaxQueriesPerProduct: 1, WindowDays: 7, EpochDays: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := svc.Serve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Results) != 1 {
+		t.Fatalf("got %d queries, want 1", len(run.Results))
+	}
+	// By day 29 every epoch but the current one is out of window reach;
+	// with no pending conversions left, the day-0 records must be gone.
+	if run.EvictedRecords == 0 {
+		t.Fatal("capped stream pinned the retention horizon: nothing evicted")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("nil source accepted")
+	}
+	if _, err := New(Config{Source: &fakeSource{meta: testMeta()}, Parallelism: -1}); err == nil {
+		t.Fatal("negative parallelism accepted")
+	}
+	if _, err := New(Config{Source: &fakeSource{meta: testMeta()}, QueueSize: -1}); err == nil {
+		t.Fatal("negative queue size accepted")
+	}
+	if _, err := New(Config{Source: &fakeSource{meta: testMeta()}, FixedEpsilon: -1}); err == nil {
+		t.Fatal("negative epsilon accepted")
+	}
+}

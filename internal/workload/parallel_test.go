@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/stream"
 )
 
 // resultsEqual compares two QueryResult slices field-for-field, treating the
@@ -117,7 +118,7 @@ func TestGroupByDevicePartition(t *testing.T) {
 	for _, i := range convs {
 		evs = append(evs, ds.Events[i])
 	}
-	groups := groupByDevice(evs)
+	groups := stream.GroupByDevice(evs)
 	seen := make(map[int]bool)
 	total := 0
 	for _, g := range groups {

@@ -1,15 +1,16 @@
 package workload
 
 import (
-	"sync"
-	"sync/atomic"
-
 	"repro/internal/core"
 	"repro/internal/events"
+	"repro/internal/stream"
 )
 
 // This file is the generate stage of the plan→generate→aggregate pipeline:
 // per-conversion report generation fanned out across a bounded worker pool.
+// The fan-out primitives (stream.FanOut, stream.GroupByDevice) live in the
+// streaming service, which multiplexes whole days of queries through them;
+// the batch engine applies them one query batch at a time.
 //
 // Determinism contract: Run results are bit-identical for every Parallelism
 // value. Two properties make that hold. First, work is partitioned by
@@ -31,95 +32,25 @@ type convOutput struct {
 	truth  float64 // IPA-like path: the true report value
 }
 
-// fanOut runs fn(job) for jobs [0, n) on up to workers goroutines, pulling
-// jobs from an atomic queue. It propagates the first panic to the caller and
-// returns once every job finished.
-func fanOut(n, workers int, fn func(job int)) {
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for job := 0; job < n; job++ {
-			fn(job)
-		}
-		return
-	}
-	var next atomic.Int64
-	var panicMu sync.Mutex
-	var panicked any
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					panicMu.Lock()
-					if panicked == nil {
-						panicked = r
-					}
-					panicMu.Unlock()
-				}
-			}()
-			for {
-				job := int(next.Add(1)) - 1
-				if job >= n {
-					return
-				}
-				fn(job)
-			}
-		}()
-	}
-	wg.Wait()
-	if panicked != nil {
-		panic(panicked)
-	}
-}
-
-// groupByDevice partitions batch indices by device, groups ordered by first
-// appearance and each group preserving batch order — the unit of parallel
-// work that keeps same-device filter operations sequential.
-func groupByDevice(batch []events.Event) [][]int {
-	order := make(map[events.DeviceID]int, len(batch))
-	var groups [][]int
-	for i, conv := range batch {
-		g, ok := order[conv.Device]
-		if !ok {
-			g = len(groups)
-			order[conv.Device] = g
-			groups = append(groups, nil)
-		}
-		groups[g] = append(groups[g], i)
-	}
-	return groups
-}
-
-// generateReports runs the generate stage for one on-device batch: every
-// conversion's GenerateReport, fanned out device-wise across the worker
-// pool, outputs slotted by conversion index.
+// generateReports runs the generate stage for one on-device batch via the
+// shared device-grouped loop (stream.GenerateReports), outputs slotted by
+// conversion index.
 func (r *Run) generateReports(reqs []*core.Request, batch []events.Event) []convOutput {
+	reports, diags := stream.GenerateReports(r.fleet, reqs, batch, r.Config.Parallelism)
 	out := make([]convOutput, len(batch))
-	groups := groupByDevice(batch)
-	fanOut(len(groups), r.Config.Parallelism, func(g int) {
-		for _, i := range groups[g] {
-			dev := r.fleet.GetOrCreate(batch[i].Device)
-			rep, diag, err := dev.GenerateReport(reqs[i])
-			if err != nil {
-				panic("workload: internal request invalid: " + err.Error())
-			}
-			out[i] = convOutput{report: rep, diag: diag}
-		}
-	})
+	for i := range out {
+		out[i] = convOutput{report: reports[i], diag: diags[i]}
+	}
 	return out
 }
 
 // trueValues runs the generate stage for one IPA-like batch: the central
 // system computes every conversion's true report value from the full data.
-// The reads are side-effect free, so the fan-out needs no device grouping.
 func (r *Run) trueValues(reqs []*core.Request, batch []events.Event) []convOutput {
+	truths := stream.TrueValues(r.db, reqs, batch, r.Config.Parallelism)
 	out := make([]convOutput, len(batch))
-	fanOut(len(batch), r.Config.Parallelism, func(i int) {
-		out[i].truth = core.TrueReportValue(r.db, batch[i].Device, reqs[i])
-	})
+	for i := range out {
+		out[i].truth = truths[i]
+	}
 	return out
 }

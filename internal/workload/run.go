@@ -5,14 +5,13 @@ import (
 	"sort"
 
 	"repro/internal/aggregation"
-	"repro/internal/attribution"
-	"repro/internal/bias"
 	"repro/internal/budget"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/events"
 	"repro/internal/privacy"
 	"repro/internal/stats"
+	"repro/internal/stream"
 )
 
 // Run is a completed workload execution with everything the experiment
@@ -156,33 +155,13 @@ func (r *Run) plan() []queryPlan {
 	return plans
 }
 
-// request builds the attribution request for one conversion.
+// request builds the attribution request for one conversion. The
+// construction is shared with the streaming executor (stream.BuildRequest):
+// it defines report content, so bit-equivalence between modes requires a
+// single copy.
 func (r *Run) request(adv dataset.Advertiser, product string, conv events.Event, eps float64) *core.Request {
-	firstDay := conv.Day - r.Config.WindowDays + 1
-	first, last := events.EpochWindow(conv.Day, r.Config.WindowDays, r.Config.EpochDays)
-	req := &core.Request{
-		Querier:    adv.Site,
-		FirstEpoch: first,
-		LastEpoch:  last,
-		Selector: events.WindowSelector{
-			Inner:    events.ProductSelector{Advertiser: adv.Site, Product: product},
-			FirstDay: firstDay,
-			LastDay:  conv.Day,
-		},
-		Function:          attribution.ScalarValue{Value: conv.Value},
-		Epsilon:           eps,
-		ReportSensitivity: conv.Value,
-		QuerySensitivity:  adv.MaxValue,
-		PNorm:             1,
-	}
-	if r.Config.Bias != nil {
-		spec := *r.Config.Bias
-		if spec.Kappa <= 0 {
-			spec.Kappa = 0.1 * adv.MaxValue // the paper's 10% scaling
-		}
-		req.Bias = &spec
-	}
-	return req
+	return stream.BuildRequest(adv, product, conv, eps,
+		r.Config.WindowDays, r.Config.EpochDays, r.Config.Bias)
 }
 
 // markRequested records the device-epochs a report's window touches, for the
@@ -253,21 +232,24 @@ func (r *Run) executeQuery(service *aggregation.Service, p queryPlan) QueryResul
 		if err != nil {
 			panic("workload: aggregation failed: " + err.Error())
 		}
+		// Batch completion: these nonces are consumed and — nonces being
+		// minted monotonically, with the next query's reports not yet
+		// generated — nothing at or below the batch's high-water mark can
+		// legitimately arrive again, so the replay-protection entries
+		// retire instead of accumulating across the run.
+		var maxNonce core.Nonce
+		for _, rep := range reports {
+			if rep.Nonce > maxNonce {
+				maxNonce = rep.Nonce
+			}
+		}
+		service.Compact(maxNonce)
 		res.Executed = true
 		res.Estimate = out.Aggregate.Total()
 		if r.Config.Bias != nil {
-			kappa := r.Config.Bias.Kappa
-			if kappa <= 0 {
-				kappa = 0.1 * p.advertiser.MaxValue
-			}
-			bound := bias.Compute(out.BiasCount, res.Estimate, bias.Params{
-				Kappa:       kappa,
-				NoiseStdDev: privacy.NoiseStdDev(p.advertiser.MaxValue, p.epsilon),
-				Beta:        r.Config.Calibration.Beta,
-				DeltaMax:    p.advertiser.MaxValue,
-				ScaleFloor:  float64(len(p.batch)) * p.advertiser.AvgReportValue,
-			})
-			res.BiasEstimate = bound.RMSRE
+			res.BiasEstimate = stream.BiasBound(out.BiasCount, res.Estimate,
+				p.advertiser, p.epsilon, len(p.batch), r.Config.Bias,
+				r.Config.Calibration.Beta)
 		}
 
 	case IPALike:
