@@ -119,9 +119,11 @@ func benchReportGeneration(b *testing.B, n int) {
 		QuerySensitivity:  1,
 		PNorm:             1,
 	}
+	b.ReportAllocs()
+	var scratch core.Scratch
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := dev.GenerateReport(req); err != nil {
+		if _, _, err := dev.GenerateReportScratch(req, &scratch); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -136,6 +138,7 @@ func BenchmarkAppendixBReportGen100(b *testing.B) { benchReportGeneration(b, 100
 // check-and-consume, the hot path of every report generation.
 func BenchmarkFilterConsume(b *testing.B) {
 	f := privacy.NewFilter(float64(b.N) + 1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := f.Consume(1); err != nil {
@@ -149,6 +152,7 @@ func BenchmarkFilterConsume(b *testing.B) {
 func BenchmarkAggregation1000(b *testing.B) {
 	rng := stats.NewRNG(1)
 	var nonce core.Nonce
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()

@@ -52,7 +52,7 @@ func main() {
 	fmt.Println("individual privacy loss per epoch (Thm. 4):")
 	for e := events.Epoch(1); e <= 4; e++ {
 		fmt.Printf("  e%d: loss %.4f  (relevant events: %d)\n",
-			e, diag.PerEpochLoss[e], diag.RelevantPerEpoch[e])
+			e, diag.LossAt(e), diag.RelevantAt(e))
 	}
 	fmt.Println("\n  e1, e2 pay ε·70/100 = 0.007 (report-cap optimization);")
 	fmt.Println("  e3, e4 pay 0 (no relevant impressions: zero individual sensitivity).")

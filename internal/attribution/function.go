@@ -23,9 +23,22 @@ type Function interface {
 
 // flattenImpressions concatenates the impressions of all epochs in time
 // order. Epoch slices are already internally ordered and epochs are given
-// oldest-first, so concatenation preserves (Day, ID) order.
+// oldest-first, so concatenation preserves (Day, ID) order. The output is
+// sized in a counting pre-pass: one exact allocation instead of append
+// growth, and nil when no impression exists.
 func flattenImpressions(epochs [][]events.Event) []events.Event {
-	var out []events.Event
+	n := 0
+	for _, evs := range epochs {
+		for _, ev := range evs {
+			if ev.IsImpression() {
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]events.Event, 0, n)
 	for _, evs := range epochs {
 		for _, ev := range evs {
 			if ev.IsImpression() {
@@ -114,11 +127,18 @@ type ScalarValue struct {
 	Value float64
 }
 
-// Attribute implements Function.
+// Attribute implements Function. Presence of any relevant impression is the
+// only input, so the window is scanned in place — no flattening copy on the
+// evaluation workloads' hot path.
 func (s ScalarValue) Attribute(epochs [][]events.Event) Histogram {
 	h := NewHistogram(1)
-	if len(flattenImpressions(epochs)) > 0 {
-		h[0] = s.Value
+	for _, evs := range epochs {
+		for _, ev := range evs {
+			if ev.IsImpression() {
+				h[0] = s.Value
+				return h
+			}
+		}
 	}
 	return h
 }

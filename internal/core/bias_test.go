@@ -18,7 +18,7 @@ func TestBiasSurchargeChargedOnAllPassingEpochs(t *testing.T) {
 	surcharge := 0.01 * 10 / 100 // ε·κ/Δquery = 0.001
 	// Epochs with relevant impressions: 0.007 + 0.001.
 	for _, e := range []events.Epoch{1, 2} {
-		if got := diag.PerEpochLoss[e]; math.Abs(got-0.008) > 1e-12 {
+		if got := diag.LossAt(e); math.Abs(got-0.008) > 1e-12 {
 			t.Fatalf("epoch %d loss = %v, want 0.008", e, got)
 		}
 	}
@@ -26,7 +26,7 @@ func TestBiasSurchargeChargedOnAllPassingEpochs(t *testing.T) {
 	// epochs that originally paid zero budget... now pay for bias
 	// counts").
 	for _, e := range []events.Epoch{3, 4} {
-		if got := diag.PerEpochLoss[e]; math.Abs(got-surcharge) > 1e-12 {
+		if got := diag.LossAt(e); math.Abs(got-surcharge) > 1e-12 {
 			t.Fatalf("epoch %d loss = %v, want %v", e, got, surcharge)
 		}
 	}
@@ -45,7 +45,7 @@ func TestBiasFlagZeroWhenNothingDenied(t *testing.T) {
 
 func TestBiasFlagGenericFiresOnAnyDenial(t *testing.T) {
 	d, _ := paperDevice(t, CookieMonsterPolicy{}, 1)
-	d.filter(nike, 1).Consume(1)
+	d.testCharge(nike, 1, 1)
 	rep, _, err := d.GenerateReport(paperRequest(&BiasSpec{Kappa: 10, LastTouch: false}))
 	if err != nil {
 		t.Fatal(err)
@@ -59,7 +59,7 @@ func TestBiasFlagLastTouchSuppressedByLaterImpression(t *testing.T) {
 	// Thm. 16: denying e1 cannot bias a last-touch report when e2 (later)
 	// still holds a relevant impression.
 	d, _ := paperDevice(t, CookieMonsterPolicy{}, 1)
-	d.filter(nike, 1).Consume(1)
+	d.testCharge(nike, 1, 1)
 	rep, _, err := d.GenerateReport(paperRequest(&BiasSpec{Kappa: 10, LastTouch: true}))
 	if err != nil {
 		t.Fatal(err)
@@ -73,7 +73,7 @@ func TestBiasFlagLastTouchFiresWhenNoLaterImpression(t *testing.T) {
 	// Deny e2 (the most recent impression's epoch): now the denial can
 	// change a last-touch report, so the flag must fire.
 	d, _ := paperDevice(t, CookieMonsterPolicy{}, 1)
-	d.filter(nike, 2).Consume(1)
+	d.testCharge(nike, 2, 1)
 	rep, diag, err := d.GenerateReport(paperRequest(&BiasSpec{Kappa: 10, LastTouch: true}))
 	if err != nil {
 		t.Fatal(err)
@@ -99,8 +99,8 @@ func TestBiasFlagLastTouchFiresWhenNoLaterImpression(t *testing.T) {
 func TestBiasFlagNeverExceedsKappa(t *testing.T) {
 	// Even with multiple denied epochs the flag is a single indicator.
 	d, _ := paperDevice(t, CookieMonsterPolicy{}, 1)
-	d.filter(nike, 1).Consume(1)
-	d.filter(nike, 2).Consume(1)
+	d.testCharge(nike, 1, 1)
+	d.testCharge(nike, 2, 1)
 	rep, _, err := d.GenerateReport(paperRequest(&BiasSpec{Kappa: 10, LastTouch: false}))
 	if err != nil {
 		t.Fatal(err)

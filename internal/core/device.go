@@ -2,27 +2,23 @@ package core
 
 import (
 	"slices"
-	"sort"
-	"sync"
 
 	"repro/internal/events"
 	"repro/internal/privacy"
 )
 
 // Device is the on-device Cookie Monster engine for a single device d: it
-// owns the device's view of the events database, a table of privacy filters
-// — one per (querier, epoch) pair, each with capacity ε^G_d — and the report
-// generation algorithm of Listing 1. All methods are safe for concurrent
-// use; the budget check-and-consume per epoch is atomic.
+// owns the device's view of the events database, the flat privacy-budget
+// ledger — one consumed-ε slot per (querier, epoch), each with capacity
+// ε^G_d — and the report generation algorithm of Listing 1. All methods are
+// safe for concurrent use; a report's whole budget check-and-consume
+// sequence runs under a single ledger lock acquisition.
 type Device struct {
 	id       events.DeviceID
 	db       *events.Database
 	capacity float64
 	policy   LossPolicy
-
-	mu         sync.Mutex
-	budgets    map[events.Site]map[events.Epoch]*privacy.Filter
-	epochFloor events.Epoch
+	ledger   *privacy.Ledger
 }
 
 // NewDevice returns a device engine with per-epoch, per-querier budget
@@ -39,12 +35,11 @@ func NewDevice(id events.DeviceID, db *events.Database, epsG float64, policy Los
 		panic("core: nil loss policy")
 	}
 	return &Device{
-		id:         id,
-		db:         db,
-		capacity:   epsG,
-		policy:     policy,
-		budgets:    make(map[events.Site]map[events.Epoch]*privacy.Filter),
-		epochFloor: events.Epoch(-1 << 31),
+		id:       id,
+		db:       db,
+		capacity: epsG,
+		policy:   policy,
+		ledger:   privacy.NewLedger(epsG),
 	}
 }
 
@@ -57,71 +52,23 @@ func (d *Device) Capacity() float64 { return d.capacity }
 // Policy returns the loss policy in effect.
 func (d *Device) Policy() LossPolicy { return d.policy }
 
-// filter returns (lazily creating) the privacy filter F_x for
-// (querier, epoch), or nil when the epoch sits below the retention floor —
-// the floor check shares the mutex with creation so a concurrent
-// SetEpochFloor can never be interleaved with recreating an evicted filter
-// (which would silently refund consumed budget).
-func (d *Device) filter(q events.Site, e events.Epoch) *privacy.Filter {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if e < d.epochFloor {
-		return nil
-	}
-	byEpoch := d.budgets[q]
-	if byEpoch == nil {
-		byEpoch = make(map[events.Epoch]*privacy.Filter)
-		d.budgets[q] = byEpoch
-	}
-	f := byEpoch[e]
-	if f == nil {
-		f = privacy.NewFilter(d.capacity)
-		byEpoch[e] = f
-	}
-	return f
-}
-
 // Consumed returns the privacy loss consumed so far by querier q from epoch
-// e on this device (0 if the filter was never touched). Experiments read
+// e on this device (0 if the slot was never touched). Experiments read
 // it; queriers never can — remaining budgets are data-dependent and must
 // stay hidden (§3.4).
 func (d *Device) Consumed(q events.Site, e events.Epoch) float64 {
-	// The whole read happens under the lock: filter() can insert into the
-	// inner byEpoch map concurrently, so it must not be read unlocked.
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	byEpoch := d.budgets[q]
-	if byEpoch == nil {
-		return 0
-	}
-	f := byEpoch[e]
-	if f == nil {
-		return 0
-	}
-	return f.Consumed()
+	return d.ledger.Consumed(string(q), int64(e))
 }
 
 // ConsumedByQuerier returns each querier's total consumed budget across all
 // of the device's epochs — the per-(device, advertiser) aggregate behind the
-// Fig. 6 CDFs.
+// Fig. 6 CDFs. Each total accumulates in ascending epoch order (the ledger
+// lane's natural order), so float results are deterministic run-to-run.
 func (d *Device) ConsumedByQuerier() map[events.Site]float64 {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	out := make(map[events.Site]float64, len(d.budgets))
-	for q, byEpoch := range d.budgets {
-		// Sum in epoch order so float accumulation is deterministic
-		// run-to-run (map order would perturb the low bits).
-		epochs := make([]events.Epoch, 0, len(byEpoch))
-		for e := range byEpoch {
-			epochs = append(epochs, e)
-		}
-		sort.Slice(epochs, func(i, j int) bool { return epochs[i] < epochs[j] })
-		sum := 0.0
-		for _, e := range epochs {
-			sum += byEpoch[e].Consumed()
-		}
-		out[q] = sum
-	}
+	out := make(map[events.Site]float64, d.ledger.NumQueriers())
+	d.ledger.RangeTotals(func(q string, total float64) {
+		out[events.Site(q)] = total
+	})
 	return out
 }
 
@@ -129,78 +76,119 @@ func (d *Device) ConsumedByQuerier() map[events.Site]float64 {
 // conversion. It always returns a fixed-shape report (null-padded when
 // budget or data is missing) so that report presence and shape leak nothing;
 // an error is returned only for malformed requests.
+//
+// This variant allocates a fresh workspace and full Diagnostics per call —
+// convenient for tests, examples, and one-off callers. The fleet pipelines
+// use GenerateReportScratch, which reuses a per-worker workspace and skips
+// the diagnostics entirely.
 func (d *Device) GenerateReport(req *Request) (*Report, *Diagnostics, error) {
-	if err := req.Validate(); err != nil {
+	var s Scratch
+	diag := &Diagnostics{}
+	rep, _, err := d.generate(req, &s, diag)
+	if err != nil {
 		return nil, nil, err
 	}
+	return rep, diag, nil
+}
 
-	epochs := req.Epochs()
-	k := len(epochs)
-	// Step 1: select relevant events from every window epoch (the shared
-	// truth computation — see window.go).
-	truthful := RelevantWindow(d.db, d.id, req) // pre-filter relevant events
-	surviving := make([][]events.Event, k)      // post-filter relevant events
-	diag := &Diagnostics{
-		PerEpochLoss:     make(map[events.Epoch]float64, k),
-		RelevantPerEpoch: make(map[events.Epoch]int, k),
+// GenerateReportScratch is the zero-diagnostics hot path: it runs the same
+// algorithm as GenerateReport while reusing s's buffers, and returns the
+// fold-ready ReportStats instead of a Diagnostics. Only the *Report (and its
+// histogram) are freshly allocated; see Scratch for the reuse contract.
+func (d *Device) GenerateReportScratch(req *Request, s *Scratch) (*Report, ReportStats, error) {
+	return d.generate(req, s, nil)
+}
+
+// generate is the shared implementation of Listing 1. When diag is non-nil
+// it is additionally populated with freshly allocated (retainable)
+// diagnostics.
+func (d *Device) generate(req *Request, s *Scratch, diag *Diagnostics) (*Report, ReportStats, error) {
+	if err := req.Validate(); err != nil {
+		return nil, ReportStats{}, err
 	}
+
+	first := req.FirstEpoch
+	k := req.WindowSize()
+	s.grow(k)
+
+	// Step 1: select relevant events from every window epoch (the shared
+	// truth computation — see window.go), into the reused workspace.
+	selectWindow(d.db, d.id, req, s)
+
 	surcharge := biasSurcharge(req)
-	denied := make(map[events.Epoch]bool, k)
 	floor := d.EpochFloor()
 
-	for i, e := range epochs {
-		// Evicted epochs are permanently out of scope: they contribute
-		// ∅ and are never charged (their filters are gone; recreating
-		// one would refund budget).
-		if e < floor {
-			truthful[i] = nil
-			diag.PerEpochLoss[e] = 0
-			diag.RelevantPerEpoch[e] = 0
+	// Step 2: individual privacy loss per epoch (Thm. 4), plus the side
+	// query's κ surcharge when bias measurement is on. Epochs below the
+	// retention floor are permanently out of scope: they contribute ∅ and
+	// request no loss (their slots are gone; recharging one would refund
+	// budget).
+	for i := 0; i < k; i++ {
+		if first+events.Epoch(i) < floor {
+			s.truthful[i] = nil
+			s.relevant[i] = 0
+			s.losses[i] = 0
 			continue
 		}
-		relevant := truthful[i]
-		diag.RelevantPerEpoch[e] = len(relevant)
+		rel := s.truthful[i]
+		s.relevant[i] = len(rel)
+		s.losses[i] = d.policy.EpochLoss(rel, req) + surcharge
+	}
 
-		// Step 2: individual privacy loss for this epoch, plus the
-		// side query's κ surcharge when bias measurement is on.
-		loss := d.policy.EpochLoss(relevant, req) + surcharge
+	// Step 3: atomic check-and-consume for the whole window under one
+	// ledger lock; on Halt an epoch's events are dropped (replaced by ∅)
+	// and nothing is charged.
+	d.ledger.ChargeWindow(string(req.Querier), int64(first), s.losses, s.outcomes)
 
-		// Step 3: atomic check-and-consume; on Halt the epoch's
-		// events are dropped (replaced by ∅) and nothing is charged.
-		if loss == 0 {
-			diag.PerEpochLoss[e] = 0
-			surviving[i] = relevant
-			continue
+	stats := ReportStats{}
+	diverged := false
+	for i := 0; i < k; i++ {
+		switch s.outcomes[i] {
+		case privacy.ChargeZero:
+			s.surviving[i] = s.truthful[i]
+		case privacy.ChargeOK:
+			s.surviving[i] = s.truthful[i]
+			// Ascending-epoch accumulation keeps the fold bit-identical
+			// to the old sorted per-epoch sum.
+			stats.TotalLoss += s.losses[i]
+		case privacy.ChargeDenied:
+			s.surviving[i] = nil
+			stats.Denied = true
+			if len(s.truthful[i]) > 0 {
+				diverged = true
+			}
+		case privacy.ChargeEvicted:
+			// The epoch was evicted between the floor snapshot and the
+			// charge: fall back to the evicted-epoch behavior — ∅
+			// contribution, nothing charged.
+			s.truthful[i] = nil
+			s.surviving[i] = nil
+			s.relevant[i] = 0
 		}
-		f := d.filter(req.Querier, e)
-		if f == nil {
-			// The epoch was evicted between the floor snapshot and
-			// the charge: fall back to the evicted-epoch behavior —
-			// ∅ contribution, nothing charged.
-			truthful[i] = nil
-			diag.PerEpochLoss[e] = 0
-			diag.RelevantPerEpoch[e] = 0
-			continue
-		}
-		if err := f.Consume(loss); err != nil {
-			denied[e] = true
-			diag.DeniedEpochs = append(diag.DeniedEpochs, e)
-			diag.PerEpochLoss[e] = 0
-			surviving[i] = nil
-			continue
-		}
-		diag.PerEpochLoss[e] = loss
-		surviving[i] = relevant
 	}
 
 	// Step 4: attribution over surviving epochs, clipped to the report
 	// global sensitivity and already padded to fixed dimension by the
 	// attribution function.
-	h := AttributeWindow(req, surviving)
+	h := AttributeWindow(req, s.surviving)
 
-	truth := AttributeWindow(req, truthful)
-	diag.TrueHistogram = truth
-	diag.Biased = !slices.Equal(h, truth)
+	// The truth pass is lazy: surviving and truthful only differ when a
+	// denial dropped relevant events, so in the common (no-denial) case the
+	// report histogram *is* the truth and the second attribution pass —
+	// previously unconditional — is skipped entirely, bit for bit.
+	if diverged {
+		tr := AttributeWindow(req, s.truthful)
+		stats.TruthTotal = tr.Total()
+		stats.Biased = !slices.Equal(h, tr)
+		if diag != nil {
+			diag.TrueHistogram = tr
+		}
+	} else {
+		stats.TruthTotal = h.Total()
+		if diag != nil {
+			diag.TrueHistogram = h.Clone()
+		}
+	}
 
 	rep := &Report{
 		Nonce:            newNonce(),
@@ -211,28 +199,51 @@ func (d *Device) GenerateReport(req *Request) (*Report, *Diagnostics, error) {
 		QuerySensitivity: req.QuerySensitivity,
 	}
 	if req.Bias != nil {
-		rep.BiasFlag = biasFlag(req, epochs, surviving, denied)
+		rep.BiasFlag = biasFlag(req, s.outcomes, s.surviving)
 	}
-	return rep, diag, nil
+
+	if diag != nil {
+		diag.FirstEpoch = first
+		diag.Biased = stats.Biased
+		diag.PerEpochLoss = make([]float64, k)
+		diag.RelevantPerEpoch = make([]int, k)
+		copy(diag.RelevantPerEpoch, s.relevant)
+		for i := 0; i < k; i++ {
+			if s.outcomes[i] == privacy.ChargeOK {
+				diag.PerEpochLoss[i] = s.losses[i]
+			}
+			if s.outcomes[i] == privacy.ChargeDenied {
+				diag.DeniedEpochs = append(diag.DeniedEpochs, first+events.Epoch(i))
+			}
+		}
+	}
+	return rep, stats, nil
 }
 
 // biasFlag computes the κ-scaled side-query coordinate of Appendix F. Under
-// the heartbeat convention an epoch reads as ∅ exactly when its filter
-// denied the loss, so:
+// the heartbeat convention an epoch reads as ∅ exactly when its slot denied
+// the loss, so:
 //
 //   - generic flag (Thm. 15): fires when any window epoch was denied;
 //   - last-touch flag (Thm. 16): fires when some denied epoch has no
 //     relevant impression in any *later* surviving epoch — i.e. the denial
 //     could actually have changed a last-touch report.
-func biasFlag(req *Request, epochs []events.Epoch, surviving [][]events.Event, denied map[events.Epoch]bool) float64 {
-	if len(denied) == 0 {
+func biasFlag(req *Request, outcomes []privacy.ChargeOutcome, surviving [][]events.Event) float64 {
+	anyDenied := false
+	for _, o := range outcomes {
+		if o == privacy.ChargeDenied {
+			anyDenied = true
+			break
+		}
+	}
+	if !anyDenied {
 		return 0
 	}
 	if !req.Bias.LastTouch {
 		return req.Bias.Kappa
 	}
-	for i, e := range epochs {
-		if !denied[e] {
+	for i, o := range outcomes {
+		if o != privacy.ChargeDenied {
 			continue
 		}
 		later := false

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/attribution"
 	"repro/internal/events"
+	"repro/internal/privacy"
 )
 
 const nike = events.Site("nike.com")
@@ -49,9 +50,9 @@ func paperRequest(bias *BiasSpec) *Request {
 
 func TestPaperExampleExecution(t *testing.T) {
 	d, _ := paperDevice(t, CookieMonsterPolicy{}, 1.0)
-	// Exhaust nike.com's filter for epoch 1, as in Fig. 3.
-	if err := d.filter(nike, 1).Consume(1.0); err != nil {
-		t.Fatal(err)
+	// Exhaust nike.com's budget slot for epoch 1, as in Fig. 3.
+	if out := d.testCharge(nike, 1, 1.0); out != privacy.ChargeOK {
+		t.Fatalf("pre-charge rejected: %v", out)
 	}
 
 	rep, diag, err := d.GenerateReport(paperRequest(nil))
@@ -63,12 +64,12 @@ func TestPaperExampleExecution(t *testing.T) {
 		t.Fatalf("denied epochs = %v, want [1]", diag.DeniedEpochs)
 	}
 	// e2 pays ε' = 0.01·70/100 = 0.007.
-	if got := diag.PerEpochLoss[2]; math.Abs(got-0.007) > 1e-12 {
+	if got := diag.LossAt(2); math.Abs(got-0.007) > 1e-12 {
 		t.Fatalf("e2 loss = %v, want 0.007", got)
 	}
 	// e3 (no relevant impressions) and e4 (conversion only) pay zero.
-	if diag.PerEpochLoss[3] != 0 || diag.PerEpochLoss[4] != 0 {
-		t.Fatalf("e3/e4 losses = %v/%v, want 0/0", diag.PerEpochLoss[3], diag.PerEpochLoss[4])
+	if diag.LossAt(3) != 0 || diag.LossAt(4) != 0 {
+		t.Fatalf("e3/e4 losses = %v/%v, want 0/0", diag.LossAt(3), diag.LossAt(4))
 	}
 	// Report assigns the $70 to I₂ and pads the second slot: {(I₂,70),(0,0)}.
 	if rep.Histogram[0] != 70 || rep.Histogram[1] != 0 {
@@ -97,7 +98,7 @@ func TestDenialOfLaterEpochBiasesBinnedReport(t *testing.T) {
 	db.Record(1, events.Event{ID: 1, Kind: events.KindImpression, Device: 7, Day: 7, Advertiser: nike, Campaign: "a1"})
 	db.Record(2, events.Event{ID: 2, Kind: events.KindImpression, Device: 7, Day: 15, Advertiser: nike, Campaign: "a2"})
 	d := NewDevice(7, db, 1, CookieMonsterPolicy{})
-	d.filter(nike, 2).Consume(1) // deny the a2 epoch
+	d.testCharge(nike, 2, 1) // deny the a2 epoch
 	req := &Request{
 		Querier:    nike,
 		FirstEpoch: 1, LastEpoch: 4,
@@ -143,7 +144,7 @@ func TestPaperExampleWithFullBudget(t *testing.T) {
 	}
 	// Both e1 and e2 hold relevant impressions → both pay 0.007.
 	for _, e := range []events.Epoch{1, 2} {
-		if got := diag.PerEpochLoss[e]; math.Abs(got-0.007) > 1e-12 {
+		if got := diag.LossAt(e); math.Abs(got-0.007) > 1e-12 {
 			t.Fatalf("epoch %d loss = %v", e, got)
 		}
 	}
@@ -176,7 +177,7 @@ func TestARALikeChargesEveryWindowEpoch(t *testing.T) {
 	}
 	// All four window epochs pay the full ε, relevant data or not.
 	for _, e := range []events.Epoch{1, 2, 3, 4} {
-		if got := diag.PerEpochLoss[e]; got != 0.01 {
+		if got := diag.LossAt(e); got != 0.01 {
 			t.Fatalf("ARA epoch %d loss = %v, want 0.01", e, got)
 		}
 	}
@@ -237,7 +238,7 @@ func TestSingleEpochUsesOutputNorm(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Individual sensitivity 1, query sensitivity 7 → ε/7 = 0.1.
-	if got := diag.PerEpochLoss[0]; math.Abs(got-0.1) > 1e-12 {
+	if got := diag.LossAt(0); math.Abs(got-0.1) > 1e-12 {
 		t.Fatalf("single-epoch loss = %v, want 0.1", got)
 	}
 }
@@ -288,7 +289,7 @@ func TestNoncesUnique(t *testing.T) {
 func TestBudgetIsolationAcrossQueriers(t *testing.T) {
 	d, _ := paperDevice(t, CookieMonsterPolicy{}, 1)
 	// Exhaust nike's budget on epoch 2.
-	d.filter(nike, 2).Consume(1)
+	d.testCharge(nike, 2, 1)
 	// A different querier still has a full budget.
 	req := paperRequest(nil)
 	req.Querier = "criteo.com"
@@ -322,7 +323,7 @@ func TestConcurrentReportsNeverOverConsume(t *testing.T) {
 	wg.Wait()
 	total := 0.0
 	for _, diag := range diags {
-		total += diag.PerEpochLoss[2]
+		total += diag.LossAt(2)
 	}
 	if total > 0.02*(1+1e-9) {
 		t.Fatalf("epoch 2 over-consumed: %v > 0.02", total)

@@ -1,0 +1,13 @@
+package core
+
+import (
+	"repro/internal/events"
+	"repro/internal/privacy"
+)
+
+// testCharge deducts eps from (q, e)'s ledger slot directly — the test
+// analogue of the old d.filter(q, e).Consume(eps), used to pre-exhaust
+// budgets before exercising report generation.
+func (d *Device) testCharge(q events.Site, e events.Epoch, eps float64) privacy.ChargeOutcome {
+	return d.ledger.Charge(string(q), int64(e), eps)
+}

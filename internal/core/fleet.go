@@ -2,7 +2,7 @@ package core
 
 import (
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -123,7 +123,7 @@ func (f *Fleet) Devices() []events.DeviceID {
 		}
 		s.mu.RUnlock()
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/attribution"
 	"repro/internal/events"
+	"repro/internal/privacy"
 )
 
 func testFleet(shards int) *Fleet {
@@ -165,12 +166,12 @@ func TestFleetConcurrentReportsAndReads(t *testing.T) {
 func TestFleetAdvanceEpochFloor(t *testing.T) {
 	f := testFleet(4)
 	const q = events.Site("nike.example")
-	// Touch filters on epochs 0..4 of three devices.
+	// Touch budget slots on epochs 0..4 of three devices.
 	for dev := events.DeviceID(1); dev <= 3; dev++ {
 		d := f.GetOrCreate(dev)
 		for e := events.Epoch(0); e < 5; e++ {
-			if err := d.filter(q, e).Consume(0.1); err != nil {
-				t.Fatal(err)
+			if out := d.testCharge(q, e, 0.1); out != privacy.ChargeOK {
+				t.Fatalf("pre-charge rejected: %v", out)
 			}
 		}
 	}

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"repro/internal/events"
@@ -35,31 +34,22 @@ func (r LedgerRow) Fraction() float64 {
 	return f
 }
 
-// Ledger returns a snapshot of every (querier, epoch) filter the device has
-// initialized, sorted by querier then epoch. Unlike IPA — where the device
-// only sees encrypted match keys leave — on-device budgeting lets the device
-// itself account every loss, which is the transparency benefit §2.3 argues
-// for.
+// Ledger returns a snapshot of every (querier, epoch) budget slot the device
+// has initialized, sorted by querier then epoch. Unlike IPA — where the
+// device only sees encrypted match keys leave — on-device budgeting lets the
+// device itself account every loss, which is the transparency benefit §2.3
+// argues for.
 func (d *Device) Ledger() []LedgerRow {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	var rows []LedgerRow
-	for q, byEpoch := range d.budgets {
-		for e, f := range byEpoch {
-			rows = append(rows, LedgerRow{
-				Querier:  q,
-				Epoch:    e,
-				Consumed: f.Consumed(),
-				Capacity: f.Capacity(),
-			})
+	entries := d.ledger.Rows() // sorted by querier then epoch
+	rows := make([]LedgerRow, len(entries))
+	for i, en := range entries {
+		rows[i] = LedgerRow{
+			Querier:  events.Site(en.Querier),
+			Epoch:    events.Epoch(en.Epoch),
+			Consumed: en.Consumed,
+			Capacity: en.Capacity,
 		}
 	}
-	sort.Slice(rows, func(i, j int) bool {
-		if rows[i].Querier != rows[j].Querier {
-			return rows[i].Querier < rows[j].Querier
-		}
-		return rows[i].Epoch < rows[j].Epoch
-	})
 	return rows
 }
 

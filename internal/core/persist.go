@@ -6,7 +6,6 @@ import (
 	"io"
 
 	"repro/internal/events"
-	"repro/internal/privacy"
 )
 
 // This file persists a device's budget state — the analogue of the Chrome
@@ -77,28 +76,14 @@ func (d *Device) LoadBudgets(rd io.Reader) error {
 	if snap.Device != d.id {
 		return fmt.Errorf("core: snapshot for device %d, not %d", snap.Device, d.id)
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	for _, fs := range snap.Filters {
 		if fs.Consumed < 0 || fs.Capacity < 0 || fs.Consumed > fs.Capacity*(1+1e-9) {
 			return fmt.Errorf("core: corrupt filter state %+v", fs)
 		}
-		byEpoch := d.budgets[fs.Querier]
-		if byEpoch == nil {
-			byEpoch = make(map[events.Epoch]*privacy.Filter)
-			d.budgets[fs.Querier] = byEpoch
+		if err := d.ledger.Restore(string(fs.Querier), int64(fs.Epoch),
+			fs.Consumed, fs.Capacity); err != nil {
+			return fmt.Errorf("core: restoring filter state: %w", err)
 		}
-		if existing := byEpoch[fs.Epoch]; existing != nil && existing.Consumed() > fs.Consumed {
-			return fmt.Errorf("core: snapshot would refund budget for %s epoch %d",
-				fs.Querier, fs.Epoch)
-		}
-		f := privacy.NewFilter(fs.Capacity)
-		if fs.Consumed > 0 {
-			if err := f.Consume(fs.Consumed); err != nil {
-				return fmt.Errorf("core: restoring filter state: %w", err)
-			}
-		}
-		byEpoch[fs.Epoch] = f
 	}
 	return nil
 }

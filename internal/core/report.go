@@ -1,7 +1,6 @@
 package core
 
 import (
-	"slices"
 	"sync/atomic"
 
 	"repro/internal/attribution"
@@ -48,38 +47,76 @@ type Report struct {
 // Diagnostics is simulator-side instrumentation emitted next to each report.
 // None of it is visible to queriers (budget states must stay hidden under
 // IDP); experiments use it to compute ground truth and budget metrics.
+// Per-epoch series are window-indexed slices (slot i is epoch FirstEpoch+i)
+// rather than maps, so building them costs two allocations instead of one
+// map insert per epoch; use LossAt/RelevantAt for epoch-keyed reads.
 type Diagnostics struct {
+	// FirstEpoch anchors the window-indexed slices below.
+	FirstEpoch events.Epoch
 	// TrueHistogram is the attribution output had no epoch been denied —
 	// the contribution to the unbiased Q(D) that RMSRE is measured
 	// against.
 	TrueHistogram attribution.Histogram
-	// PerEpochLoss maps each window epoch to the privacy loss actually
-	// consumed from it (0 for zero-loss and denied epochs).
-	PerEpochLoss map[events.Epoch]float64
-	// DeniedEpochs lists epochs whose filter rejected the loss; their
+	// PerEpochLoss[i] is the privacy loss actually consumed from epoch
+	// FirstEpoch+i (0 for zero-loss, denied, and evicted epochs).
+	PerEpochLoss []float64
+	// DeniedEpochs lists epochs whose budget slot rejected the loss; their
 	// events were dropped from attribution.
 	DeniedEpochs []events.Epoch
-	// RelevantPerEpoch counts relevant events found per window epoch
-	// (pre-denial).
-	RelevantPerEpoch map[events.Epoch]int
+	// RelevantPerEpoch[i] counts relevant events found at epoch
+	// FirstEpoch+i (pre-denial).
+	RelevantPerEpoch []int
 	// Biased reports whether the generated report differs from the true
 	// one because of denied epochs.
 	Biased bool
 }
 
-// TotalLoss sums the privacy loss consumed across window epochs. Epochs are
-// summed in ascending order so the float result is bit-identical run-to-run
-// (the workload's budget totals are built from these sums, and map iteration
-// order would perturb the low bits).
-func (d *Diagnostics) TotalLoss() float64 {
-	epochs := make([]events.Epoch, 0, len(d.PerEpochLoss))
-	for e := range d.PerEpochLoss {
-		epochs = append(epochs, e)
+// LossAt returns the privacy loss consumed from epoch e (0 outside the
+// window).
+func (d *Diagnostics) LossAt(e events.Epoch) float64 {
+	i := int(e - d.FirstEpoch)
+	if i < 0 || i >= len(d.PerEpochLoss) {
+		return 0
 	}
-	slices.Sort(epochs)
+	return d.PerEpochLoss[i]
+}
+
+// RelevantAt returns the relevant-event count of epoch e (0 outside the
+// window).
+func (d *Diagnostics) RelevantAt(e events.Epoch) int {
+	i := int(e - d.FirstEpoch)
+	if i < 0 || i >= len(d.RelevantPerEpoch) {
+		return 0
+	}
+	return d.RelevantPerEpoch[i]
+}
+
+// TotalLoss sums the privacy loss consumed across window epochs, in
+// ascending epoch order so the float result is bit-identical run-to-run.
+func (d *Diagnostics) TotalLoss() float64 {
 	sum := 0.0
-	for _, e := range epochs {
-		sum += d.PerEpochLoss[e]
+	for _, l := range d.PerEpochLoss {
+		sum += l
 	}
 	return sum
+}
+
+// ReportStats is the fold-ready scalar summary GenerateReportScratch emits
+// in place of a full Diagnostics: exactly the per-conversion values the
+// batch and streaming aggregate stages fold, with no retained allocations.
+// Every field is derived from the same intermediate state as the
+// Diagnostics equivalent, in the same order, so folds over either are
+// bit-identical.
+type ReportStats struct {
+	// TruthTotal is Diagnostics.TrueHistogram.Total(): the conversion's
+	// contribution to the unbiased Q(D).
+	TruthTotal float64
+	// TotalLoss is Diagnostics.TotalLoss(): privacy loss consumed across
+	// the window, accumulated in ascending epoch order.
+	TotalLoss float64
+	// Denied reports whether any window epoch's charge was rejected
+	// (len(Diagnostics.DeniedEpochs) > 0).
+	Denied bool
+	// Biased mirrors Diagnostics.Biased.
+	Biased bool
 }

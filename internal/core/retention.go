@@ -4,43 +4,28 @@ import "repro/internal/events"
 
 // Epoch retention: browsers do not keep impression data forever — ARA-style
 // APIs expire events after a retention window, and the paper's per-epoch
-// filters only matter while their epoch can still appear in an attribution
-// window. A device can therefore evict old epochs' filters — but *only* by
-// also refusing all future access to those epochs: dropping a filter and
-// later recreating it fresh would silently refund consumed budget.
+// budget slots only matter while their epoch can still appear in an
+// attribution window. A device can therefore evict old epochs' slots — but
+// *only* by also refusing all future access to those epochs: recycling a
+// slot and later recharging it fresh would silently refund consumed budget.
 //
 // SetEpochFloor implements the sound version of this: epochs strictly below
 // the floor become permanently out of scope. Report generation treats them
-// as empty (∅, the same null contribution an exhausted filter produces, so
+// as empty (∅, the same null contribution an exhausted slot produces, so
 // the report shape still leaks nothing), no budget is ever charged for them
-// again, and their filters are released.
+// again, and their ledger slots are recycled (an O(1) lane re-slice per
+// querier — see privacy.Ledger.AdvanceFloor).
 
-// SetEpochFloor advances the device's retention floor and releases the
-// filters of evicted epochs. The floor never moves backwards; calls with a
-// lower value are no-ops. It returns the number of filters released.
+// SetEpochFloor advances the device's retention floor and recycles the
+// slots of evicted epochs. The floor never moves backwards; calls with a
+// lower value are no-ops. It returns the number of initialized slots
+// released.
 func (d *Device) SetEpochFloor(floor events.Epoch) int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if floor <= d.epochFloor {
-		return 0
-	}
-	d.epochFloor = floor
-	released := 0
-	for _, byEpoch := range d.budgets {
-		for e := range byEpoch {
-			if e < floor {
-				delete(byEpoch, e)
-				released++
-			}
-		}
-	}
-	return released
+	return d.ledger.AdvanceFloor(int64(floor))
 }
 
 // EpochFloor returns the current retention floor (epochs below it are
 // permanently inaccessible).
 func (d *Device) EpochFloor() events.Epoch {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.epochFloor
+	return events.Epoch(d.ledger.Floor())
 }

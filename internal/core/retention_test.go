@@ -65,8 +65,8 @@ func TestEvictionNeverRefundsBudget(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Epoch 1 contributes nothing and is never recharged.
-	if diag.PerEpochLoss[1] != 0 {
-		t.Fatalf("evicted epoch charged %v", diag.PerEpochLoss[1])
+	if diag.LossAt(1) != 0 {
+		t.Fatalf("evicted epoch charged %v", diag.LossAt(1))
 	}
 	if d.Consumed(nike, 1) != 0 {
 		t.Fatal("evicted epoch has a filter again")
@@ -95,10 +95,10 @@ func TestPartialEvictionKeepsLaterEpochs(t *testing.T) {
 	if rep.Histogram[0] != 70 {
 		t.Fatalf("report = %v, want I₂ attribution", rep.Histogram)
 	}
-	if diag.PerEpochLoss[2] == 0 {
+	if diag.LossAt(2) == 0 {
 		t.Fatal("surviving epoch paid nothing")
 	}
-	if diag.PerEpochLoss[1] != 0 {
+	if diag.LossAt(1) != 0 {
 		t.Fatal("evicted epoch paid")
 	}
 }

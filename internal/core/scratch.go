@@ -1,0 +1,102 @@
+package core
+
+import (
+	"repro/internal/events"
+	"repro/internal/privacy"
+)
+
+// Scratch is the reusable per-worker workspace of the report hot path. The
+// per-conversion cost of GenerateReport is dominated by constant factors —
+// window/selection slices, per-epoch loss and outcome buffers, diagnostics
+// maps — that a worker would otherwise reallocate for every conversion in
+// the fleet. A Scratch owns all of them; GenerateReportScratch reuses the
+// buffers across calls and allocates only what the caller actually retains
+// (the Report and its histogram).
+//
+// Reuse contract: a Scratch may be used by one goroutine at a time, and
+// nothing reachable from it survives the call that filled it — callers may
+// retain the returned *Report (and the *Diagnostics of GenerateReport, which
+// is built from fresh allocations) but must not hold any slice observed
+// during a previous call. The fan-out engine (stream.GenerateReports) keeps
+// one Scratch per worker for exactly this reason.
+type Scratch struct {
+	// win holds the raw per-epoch database slices of the current window.
+	win [][]events.Event
+	// truthful holds the relevant (pre-filter) events per window epoch;
+	// entries alias either the database (epochs where every event is
+	// relevant) or the arena below.
+	truthful [][]events.Event
+	// surviving holds the post-filter events per window epoch.
+	surviving [][]events.Event
+	// arena is the backing store for partial epoch selections; spans
+	// records each epoch's [start, end) range until the arena stops
+	// growing and stable sub-slices can be taken.
+	arena []events.Event
+	spans [][2]int
+	// losses, outcomes, and relevant are the per-epoch charge pipeline.
+	losses   []float64
+	outcomes []privacy.ChargeOutcome
+	relevant []int
+}
+
+// spanAlias marks a window epoch whose events were all relevant, so the
+// truthful slice aliases the database record instead of an arena copy.
+const spanAlias = -1
+
+// grow resizes the scratch buffers for a k-epoch window. Slice contents are
+// left stale; every entry is overwritten by the passes that follow.
+func (s *Scratch) grow(k int) {
+	if cap(s.truthful) < k {
+		s.truthful = make([][]events.Event, k)
+		s.surviving = make([][]events.Event, k)
+		s.losses = make([]float64, k)
+		s.outcomes = make([]privacy.ChargeOutcome, k)
+		s.relevant = make([]int, k)
+	} else {
+		s.truthful = s.truthful[:k]
+		s.surviving = s.surviving[:k]
+		s.losses = s.losses[:k]
+		s.outcomes = s.outcomes[:k]
+		s.relevant = s.relevant[:k]
+	}
+}
+
+// selectWindow fills s.truthful with the relevant events of every window
+// epoch — RelevantWindow's job, without the per-epoch allocations. Partial
+// selections are copied into the shared arena; sub-slices are only taken
+// once the arena has stopped growing, so no span is invalidated by a later
+// reallocation.
+func selectWindow(db *events.Database, dev events.DeviceID, req *Request, s *Scratch) {
+	s.win = db.WindowEventsInto(s.win, dev, req.FirstEpoch, req.LastEpoch)
+	s.arena = s.arena[:0]
+	s.spans = s.spans[:0]
+	for _, evs := range s.win {
+		start := len(s.arena)
+		all := true
+		for _, ev := range evs {
+			if req.Selector.Relevant(ev) {
+				s.arena = append(s.arena, ev)
+			} else {
+				all = false
+			}
+		}
+		if all && len(evs) > 0 {
+			// Every event relevant: alias the (read-only) database slice
+			// and return the arena space.
+			s.arena = s.arena[:start]
+			s.spans = append(s.spans, [2]int{spanAlias, 0})
+			continue
+		}
+		s.spans = append(s.spans, [2]int{start, len(s.arena)})
+	}
+	for i, sp := range s.spans {
+		switch {
+		case sp[0] == spanAlias:
+			s.truthful[i] = s.win[i]
+		case sp[0] == sp[1]:
+			s.truthful[i] = nil // nothing relevant: the zero-loss signal
+		default:
+			s.truthful[i] = s.arena[sp[0]:sp[1]:sp[1]]
+		}
+	}
+}

@@ -42,3 +42,17 @@ func AttributeWindow(req *Request, perEpoch [][]events.Event) attribution.Histog
 func TrueReportValue(db *events.Database, dev events.DeviceID, req *Request) float64 {
 	return AttributeWindow(req, RelevantWindow(db, dev, req)).Total()
 }
+
+// TrueReportValueScratch is TrueReportValue on a reusable workspace: the
+// window and selection buffers come from s, so the central (IPA-like)
+// generate stage allocates only the transient attribution histogram per
+// conversion. Same reuse contract as GenerateReportScratch.
+func TrueReportValueScratch(db *events.Database, dev events.DeviceID, req *Request, s *Scratch) float64 {
+	k := req.WindowSize()
+	if k <= 0 {
+		return AttributeWindow(req, nil).Total()
+	}
+	s.grow(k)
+	selectWindow(db, dev, req, s)
+	return AttributeWindow(req, s.truthful).Total()
+}

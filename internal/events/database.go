@@ -1,6 +1,6 @@
 package events
 
-import "sort"
+import "slices"
 
 // DeviceEpoch is a device-epoch record x = (d, e, F): the events F logged on
 // device d during epoch e. Events are kept sorted by (Day, ID) so that
@@ -172,7 +172,28 @@ func (db *Database) WindowEvents(d DeviceID, first, last Epoch) [][]Event {
 	if last < first {
 		return nil
 	}
-	out := make([][]Event, int(last-first)+1)
+	return db.WindowEventsInto(nil, d, first, last)
+}
+
+// WindowEventsInto is WindowEvents writing into a reusable buffer: buf is
+// resized (reallocating only when capacity is short) to last-first+1 entries
+// and returned. The report hot path calls this once per conversion, so
+// reusing one buffer per worker removes a per-report allocation. The entry
+// slices are shared with the database; callers must not modify them.
+func (db *Database) WindowEventsInto(buf [][]Event, d DeviceID, first, last Epoch) [][]Event {
+	if last < first {
+		return buf[:0]
+	}
+	k := int(last-first) + 1
+	var out [][]Event
+	if cap(buf) < k {
+		out = make([][]Event, k)
+	} else {
+		out = buf[:k]
+		for i := range out {
+			out[i] = nil
+		}
+	}
 	ds := db.devices[d]
 	if ds == nil {
 		return out
@@ -198,7 +219,7 @@ func (db *Database) Devices() []DeviceID {
 	for d := range db.devices {
 		out = append(out, d)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -212,7 +233,7 @@ func (db *Database) DeviceEpochs(d DeviceID) []Epoch {
 	for e := range ds.epochs {
 		out = append(out, e)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -263,6 +284,14 @@ func (db *Database) Conversions() []Event {
 	db.ForEachConversion(func(_ Epoch, conv Event) {
 		out = append(out, conv)
 	})
-	sort.Slice(out, func(i, j int) bool { return out[i].Before(out[j]) })
+	slices.SortFunc(out, func(a, b Event) int {
+		switch {
+		case a.Before(b):
+			return -1
+		case b.Before(a):
+			return 1
+		}
+		return 0
+	})
 	return out
 }

@@ -67,9 +67,12 @@ func AppendixB(o Options) (*AppendixBResult, error) {
 	}
 	for _, n := range res.Impressions {
 		dev, req := appendixBDevice(n)
+		// Measure the production hot path: the scratch-reusing variant the
+		// fleet pipelines run, not the allocate-per-call convenience API.
+		var scratch core.Scratch
 		start := time.Now()
 		for i := 0; i < iters; i++ {
-			if _, _, err := dev.GenerateReport(req); err != nil {
+			if _, _, err := dev.GenerateReportScratch(req, &scratch); err != nil {
 				return nil, err
 			}
 		}

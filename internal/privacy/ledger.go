@@ -1,0 +1,360 @@
+package privacy
+
+import (
+	"fmt"
+	"slices"
+	"sync"
+)
+
+// ChargeOutcome is the per-epoch result of a ledger charge — the three-way
+// branch of Listing 1's step 3 plus the zero-loss shortcut.
+type ChargeOutcome uint8
+
+const (
+	// ChargeZero: no loss was requested; the epoch's slot is untouched and
+	// its events survive (the zero-loss optimization of Thm. 4 case 1).
+	ChargeZero ChargeOutcome = iota
+	// ChargeOK: the loss fit and was deducted; the epoch's events survive.
+	ChargeOK
+	// ChargeDenied: admitting the loss would overflow the slot's capacity
+	// (the Halt outcome of Eq. 3); nothing was deducted. The slot is still
+	// initialized, exactly as a rejected Filter was still created.
+	ChargeDenied
+	// ChargeEvicted: the epoch sits below the retention floor; it is
+	// permanently out of scope and nothing was deducted.
+	ChargeEvicted
+)
+
+// Ledger is the flat on-device budget table: for each querier, a dense array
+// of consumed-ε slots covering the live attribution window, all sharing one
+// capacity ε^G and one mutex. It replaces a map[querier]map[epoch]*Filter —
+// and with it the per-epoch pointer chase, the per-Filter mutex, and the
+// per-Filter allocation — on the report hot path, while keeping Filter
+// semantics slot for slot: the same check-and-consume arithmetic, the same
+// 1e-9 boundary tolerance, the same "a rejected charge still initializes the
+// slot" behavior.
+//
+// The ledger is floor-aware: epochs strictly below the retention floor are
+// permanently out of scope, and AdvanceFloor recycles their slots in O(1)
+// per querier by re-slicing the lane head forward instead of deleting map
+// entries (only counting the released slots is linear in what was dropped).
+// Lanes grow lazily to span exactly the epochs a querier has touched, so
+// memory stays proportional to the live window.
+//
+// All methods are safe for concurrent use; ChargeWindow performs a whole
+// report's check-and-consume sequence under a single lock acquisition.
+type Ledger struct {
+	mu       sync.Mutex
+	capacity float64
+	floor    int64
+	lanes    map[string]*ledgerLane
+	// capOv holds per-slot capacity overrides, populated only when Restore
+	// loads a snapshot row whose capacity differs from the ledger's. nil in
+	// every live-traffic ledger, so the hot path never consults it.
+	capOv map[string]map[int64]float64
+}
+
+// ledgerLane is one querier's dense slot array: consumed[i] is the budget
+// consumed from epoch base+i, with untouchedSlot marking slots whose epoch
+// was never charged (the analogue of "no Filter was ever created").
+type ledgerLane struct {
+	base     int64
+	consumed []float64
+}
+
+// untouchedSlot marks a slot whose (querier, epoch) filter was never
+// initialized. Consumed loss is never negative, so the sentinel is
+// unambiguous.
+const untouchedSlot = -1
+
+// LedgerEntry is one initialized (querier, epoch) slot, the unit of the
+// dashboard and persistence snapshots.
+type LedgerEntry struct {
+	Querier  string
+	Epoch    int64
+	Consumed float64
+	Capacity float64
+}
+
+// NewLedger returns a ledger whose slots all have budget capacity ε^G.
+// It panics if capacity is negative.
+func NewLedger(capacity float64) *Ledger {
+	if capacity < 0 {
+		panic("privacy: negative ledger capacity")
+	}
+	return &Ledger{
+		capacity: capacity,
+		floor:    -1 << 31,
+		lanes:    make(map[string]*ledgerLane),
+	}
+}
+
+// Capacity returns the uniform per-slot budget capacity ε^G.
+func (l *Ledger) Capacity() float64 { return l.capacity }
+
+// Floor returns the current retention floor: epochs strictly below it are
+// permanently out of scope.
+func (l *Ledger) Floor() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.floor
+}
+
+// slot returns a pointer to the lane's slot for epoch e, growing the dense
+// array in either direction as needed. Growth toward older epochs copies
+// (attribution windows reach back a bounded number of epochs); growth toward
+// newer epochs is an amortized-O(1) append.
+func (ln *ledgerLane) slot(e int64) *float64 {
+	if len(ln.consumed) == 0 {
+		ln.base = e
+		ln.consumed = append(ln.consumed[:0], untouchedSlot)
+		return &ln.consumed[0]
+	}
+	if e < ln.base {
+		grow := int(ln.base - e)
+		widened := make([]float64, grow+len(ln.consumed))
+		for i := 0; i < grow; i++ {
+			widened[i] = untouchedSlot
+		}
+		copy(widened[grow:], ln.consumed)
+		ln.consumed = widened
+		ln.base = e
+	}
+	for int(e-ln.base) >= len(ln.consumed) {
+		ln.consumed = append(ln.consumed, untouchedSlot)
+	}
+	return &ln.consumed[e-ln.base]
+}
+
+// lane returns (lazily creating) querier q's slot array.
+func (l *Ledger) lane(q string) *ledgerLane {
+	ln := l.lanes[q]
+	if ln == nil {
+		ln = &ledgerLane{}
+		l.lanes[q] = ln
+	}
+	return ln
+}
+
+// capAt returns the capacity in force for one slot: the uniform ε^G unless a
+// restored snapshot recorded an override.
+func (l *Ledger) capAt(q string, e int64) float64 {
+	if l.capOv != nil {
+		if byEpoch := l.capOv[q]; byEpoch != nil {
+			if c, ok := byEpoch[e]; ok {
+				return c
+			}
+		}
+	}
+	return l.capacity
+}
+
+// chargeLocked is the single check-and-consume path. Caller holds l.mu.
+func (l *Ledger) chargeLocked(q string, e int64, eps float64) ChargeOutcome {
+	if eps < 0 {
+		// Privacy loss is never negative; accepting one would refund budget.
+		panic("privacy: negative privacy loss")
+	}
+	if eps == 0 {
+		return ChargeZero
+	}
+	if e < l.floor {
+		return ChargeEvicted
+	}
+	c := l.lane(q).slot(e)
+	if *c == untouchedSlot {
+		*c = 0
+	}
+	limit := l.capAt(q, e)
+	// Tolerate float rounding at the boundary, exactly as Filter.Consume.
+	if *c+eps > limit*(1+1e-9) {
+		return ChargeDenied
+	}
+	*c += eps
+	if *c > limit {
+		*c = limit
+	}
+	return ChargeOK
+}
+
+// Charge atomically checks whether eps more privacy loss fits into querier
+// q's slot for epoch e and, if so, deducts it.
+func (l *Ledger) Charge(q string, e int64, eps float64) ChargeOutcome {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.chargeLocked(q, e, eps)
+}
+
+// ChargeWindow runs the check-and-consume sequence for a whole attribution
+// window under one lock acquisition: losses[i] is the loss requested from
+// epoch first+i, and outcomes[i] receives the per-epoch result. Epochs are
+// charged independently in ascending order, so the outcomes are identical to
+// len(losses) individual Charge calls — the batching only amortizes the lock.
+// It panics if outcomes is shorter than losses.
+func (l *Ledger) ChargeWindow(q string, first int64, losses []float64, outcomes []ChargeOutcome) {
+	_ = outcomes[:len(losses)]
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i, eps := range losses {
+		outcomes[i] = l.chargeLocked(q, first+int64(i), eps)
+	}
+}
+
+// Consumed returns the privacy loss consumed so far by querier q from epoch
+// e (0 if the slot was never touched or was recycled by a floor advance).
+func (l *Ledger) Consumed(q string, e int64) float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ln := l.lanes[q]
+	if ln == nil {
+		return 0
+	}
+	i := e - ln.base
+	if i < 0 || int(i) >= len(ln.consumed) || ln.consumed[i] == untouchedSlot {
+		return 0
+	}
+	return ln.consumed[i]
+}
+
+// NumQueriers returns the number of queriers with a lane (touched at least
+// once, even if every slot has since been recycled) — the pre-sizing hint
+// for per-querier aggregation maps.
+func (l *Ledger) NumQueriers() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.lanes)
+}
+
+// RangeTotals calls fn once per querier with the querier's total consumed
+// budget across all live epochs. Each total accumulates in ascending epoch
+// order — the dense array's natural order — so the float sums are
+// deterministic run-to-run; querier visit order is unspecified.
+func (l *Ledger) RangeTotals(fn func(q string, total float64)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for q, ln := range l.lanes {
+		sum := 0.0
+		for _, c := range ln.consumed {
+			if c != untouchedSlot {
+				sum += c
+			}
+		}
+		fn(q, sum)
+	}
+}
+
+// Rows returns a snapshot of every initialized slot, sorted by querier then
+// epoch — the Fig. 1 dashboard view and the persistence snapshot source.
+func (l *Ledger) Rows() []LedgerEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var rows []LedgerEntry
+	for q, ln := range l.lanes {
+		for i, c := range ln.consumed {
+			if c == untouchedSlot {
+				continue
+			}
+			e := ln.base + int64(i)
+			rows = append(rows, LedgerEntry{
+				Querier:  q,
+				Epoch:    e,
+				Consumed: c,
+				Capacity: l.capAt(q, e),
+			})
+		}
+	}
+	slices.SortFunc(rows, func(a, b LedgerEntry) int {
+		if a.Querier != b.Querier {
+			if a.Querier < b.Querier {
+				return -1
+			}
+			return 1
+		}
+		switch {
+		case a.Epoch < b.Epoch:
+			return -1
+		case a.Epoch > b.Epoch:
+			return 1
+		}
+		return 0
+	})
+	return rows
+}
+
+// AdvanceFloor raises the retention floor and recycles the slots of evicted
+// epochs. The floor never moves backwards; calls with a lower value are
+// no-ops. It returns the number of initialized slots released. Dropping a
+// lane's dead prefix is a re-slice — O(1) per querier — with only the
+// released-slot count costing a scan of what was dropped.
+func (l *Ledger) AdvanceFloor(floor int64) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if floor <= l.floor {
+		return 0
+	}
+	l.floor = floor
+	released := 0
+	for _, ln := range l.lanes {
+		if floor <= ln.base || len(ln.consumed) == 0 {
+			continue
+		}
+		drop := int(floor - ln.base)
+		if drop > len(ln.consumed) {
+			drop = len(ln.consumed)
+		}
+		for _, c := range ln.consumed[:drop] {
+			if c != untouchedSlot {
+				released++
+			}
+		}
+		ln.consumed = ln.consumed[drop:]
+		ln.base += int64(drop)
+	}
+	for q, byEpoch := range l.capOv {
+		for e := range byEpoch {
+			if e < floor {
+				delete(byEpoch, e)
+			}
+		}
+		if len(byEpoch) == 0 {
+			delete(l.capOv, q)
+		}
+	}
+	return released
+}
+
+// Restore sets one slot's state from a persisted snapshot row. It refuses to
+// lower a slot's consumed budget (replaying an old snapshot must never
+// refund privacy loss) and to resurrect an epoch below the retention floor.
+// A capacity differing from the ledger's ε^G is honored per slot, as the old
+// per-filter table did.
+func (l *Ledger) Restore(q string, e int64, consumed, capacity float64) error {
+	if consumed < 0 || capacity < 0 || consumed > capacity*(1+1e-9) {
+		return fmt.Errorf("privacy: corrupt ledger slot %s/%d: %v of %v", q, e, consumed, capacity)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if e < l.floor {
+		return fmt.Errorf("privacy: restoring evicted epoch %d below floor %d", e, l.floor)
+	}
+	c := l.lane(q).slot(e)
+	if *c != untouchedSlot && *c > consumed {
+		return fmt.Errorf("privacy: restore would refund budget for %s epoch %d", q, e)
+	}
+	if consumed > capacity {
+		consumed = capacity
+	}
+	*c = consumed
+	if capacity != l.capacity {
+		if l.capOv == nil {
+			l.capOv = make(map[string]map[int64]float64)
+		}
+		if l.capOv[q] == nil {
+			l.capOv[q] = make(map[int64]float64)
+		}
+		l.capOv[q][e] = capacity
+	} else if l.capOv != nil && l.capOv[q] != nil {
+		delete(l.capOv[q], e)
+	}
+	return nil
+}

@@ -1,0 +1,343 @@
+package privacy
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// filterMapRef is the old map-of-filters budget table — the implementation
+// the flat ledger replaced — kept here as the reference model for the
+// property test: over any sequence of charges, denials, floor advances, and
+// reads, the ledger must hold exactly the state the per-(querier, epoch)
+// Filter table would.
+type filterMapRef struct {
+	capacity float64
+	floor    int64
+	budgets  map[string]map[int64]*Filter
+}
+
+func newFilterMapRef(capacity float64) *filterMapRef {
+	return &filterMapRef{
+		capacity: capacity,
+		floor:    -1 << 31,
+		budgets:  make(map[string]map[int64]*Filter),
+	}
+}
+
+// charge replicates Device.filter + Filter.Consume: floor check, lazy filter
+// creation (also on the denial path), atomic check-and-consume.
+func (r *filterMapRef) charge(q string, e int64, eps float64) ChargeOutcome {
+	if eps == 0 {
+		return ChargeZero
+	}
+	if e < r.floor {
+		return ChargeEvicted
+	}
+	byEpoch := r.budgets[q]
+	if byEpoch == nil {
+		byEpoch = make(map[int64]*Filter)
+		r.budgets[q] = byEpoch
+	}
+	f := byEpoch[e]
+	if f == nil {
+		f = NewFilter(r.capacity)
+		byEpoch[e] = f
+	}
+	if err := f.Consume(eps); err != nil {
+		return ChargeDenied
+	}
+	return ChargeOK
+}
+
+func (r *filterMapRef) consumed(q string, e int64) float64 {
+	if byEpoch := r.budgets[q]; byEpoch != nil {
+		if f := byEpoch[e]; f != nil {
+			return f.Consumed()
+		}
+	}
+	return 0
+}
+
+// advanceFloor replicates Device.SetEpochFloor: evict filters below the
+// floor, count the released ones, never move backwards.
+func (r *filterMapRef) advanceFloor(floor int64) int {
+	if floor <= r.floor {
+		return 0
+	}
+	r.floor = floor
+	released := 0
+	for _, byEpoch := range r.budgets {
+		for e := range byEpoch {
+			if e < floor {
+				delete(byEpoch, e)
+				released++
+			}
+		}
+	}
+	return released
+}
+
+func (r *filterMapRef) rows() map[string]map[int64]float64 {
+	out := make(map[string]map[int64]float64)
+	for q, byEpoch := range r.budgets {
+		for e, f := range byEpoch {
+			if out[q] == nil {
+				out[q] = make(map[int64]float64)
+			}
+			out[q][e] = f.Consumed()
+		}
+	}
+	return out
+}
+
+// TestLedgerMatchesFilterMapReference drives the flat ledger and the old
+// map-of-filters table through identical randomized charge/deny/evict
+// sequences and asserts bit-identical state after every operation.
+func TestLedgerMatchesFilterMapReference(t *testing.T) {
+	queriers := []string{"nike.com", "adidas.com", "criteo.com"}
+	for seed := int64(1); seed <= 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		capacity := []float64{0, 0.01, 1, 5}[rng.Intn(4)]
+		l := NewLedger(capacity)
+		ref := newFilterMapRef(capacity)
+
+		for op := 0; op < 400; op++ {
+			switch rng.Intn(10) {
+			case 0: // floor advance (sometimes backwards, must be a no-op)
+				floor := int64(rng.Intn(60) - 10)
+				got, want := l.AdvanceFloor(floor), ref.advanceFloor(floor)
+				if got != want {
+					t.Fatalf("seed %d op %d: AdvanceFloor(%d) released %d, ref %d",
+						seed, op, floor, got, want)
+				}
+			case 1: // whole-window charge
+				q := queriers[rng.Intn(len(queriers))]
+				first := int64(rng.Intn(50))
+				k := rng.Intn(6) + 1
+				losses := make([]float64, k)
+				for i := range losses {
+					if rng.Intn(3) > 0 {
+						losses[i] = rng.Float64() * capacity * 1.5
+					}
+				}
+				outcomes := make([]ChargeOutcome, k)
+				l.ChargeWindow(q, first, losses, outcomes)
+				for i, eps := range losses {
+					if want := ref.charge(q, first+int64(i), eps); outcomes[i] != want {
+						t.Fatalf("seed %d op %d: window outcome[%d] = %v, ref %v",
+							seed, op, i, outcomes[i], want)
+					}
+				}
+			default: // single charge
+				q := queriers[rng.Intn(len(queriers))]
+				e := int64(rng.Intn(50))
+				eps := 0.0
+				if rng.Intn(4) > 0 {
+					eps = rng.Float64() * capacity * 1.2
+				}
+				got, want := l.Charge(q, e, eps), ref.charge(q, e, eps)
+				if got != want {
+					t.Fatalf("seed %d op %d: Charge(%s,%d,%v) = %v, ref %v",
+						seed, op, q, e, eps, got, want)
+				}
+			}
+
+			// Spot-check reads every few ops; full-state compare at the end.
+			q := queriers[rng.Intn(len(queriers))]
+			e := int64(rng.Intn(50))
+			if got, want := l.Consumed(q, e), ref.consumed(q, e); got != want {
+				t.Fatalf("seed %d op %d: Consumed(%s,%d) = %v, ref %v",
+					seed, op, q, e, got, want)
+			}
+		}
+
+		// Final state: every initialized slot matches the reference table
+		// exactly (bitwise — both sides run the same float arithmetic).
+		want := ref.rows()
+		for _, row := range l.Rows() {
+			if row.Capacity != capacity {
+				t.Fatalf("seed %d: row capacity %v, want uniform %v", seed, row.Capacity, capacity)
+			}
+			wantC, ok := want[row.Querier][row.Epoch]
+			if !ok {
+				t.Fatalf("seed %d: ledger has slot %s/%d the reference lacks",
+					seed, row.Querier, row.Epoch)
+			}
+			if row.Consumed != wantC {
+				t.Fatalf("seed %d: slot %s/%d consumed %v, ref %v",
+					seed, row.Querier, row.Epoch, row.Consumed, wantC)
+			}
+			delete(want[row.Querier], row.Epoch)
+		}
+		for q, byEpoch := range want {
+			if len(byEpoch) != 0 {
+				t.Fatalf("seed %d: reference has %d slots for %s the ledger lacks",
+					seed, len(byEpoch), q)
+			}
+		}
+		if l.Floor() != ref.floor {
+			t.Fatalf("seed %d: floor %d, ref %d", seed, l.Floor(), ref.floor)
+		}
+	}
+}
+
+// TestLedgerTotalsMatchRowSums checks RangeTotals against the row snapshot
+// and the NumQueriers pre-sizing hint.
+func TestLedgerTotalsMatchRowSums(t *testing.T) {
+	l := NewLedger(10)
+	l.Charge("a", 3, 1)
+	l.Charge("a", 1, 2)
+	l.Charge("a", 7, 0.5)
+	l.Charge("b", 2, 4)
+	if l.NumQueriers() != 2 {
+		t.Fatalf("NumQueriers = %d", l.NumQueriers())
+	}
+	sums := map[string]float64{}
+	for _, row := range l.Rows() {
+		sums[row.Querier] += row.Consumed
+	}
+	n := 0
+	l.RangeTotals(func(q string, total float64) {
+		n++
+		if math.Abs(total-sums[q]) > 1e-15 {
+			t.Fatalf("total(%s) = %v, rows sum %v", q, total, sums[q])
+		}
+	})
+	if n != 2 {
+		t.Fatalf("RangeTotals visited %d queriers", n)
+	}
+}
+
+// TestLedgerFloorRecyclesSlots exercises the O(1) lane re-slice: slots below
+// the floor disappear from every read path, epochs at or above survive, and
+// charging below the floor reports eviction.
+func TestLedgerFloorRecyclesSlots(t *testing.T) {
+	l := NewLedger(5)
+	for e := int64(0); e < 8; e++ {
+		if out := l.Charge("q", e, 1); out != ChargeOK {
+			t.Fatalf("charge(%d) = %v", e, out)
+		}
+	}
+	if released := l.AdvanceFloor(5); released != 5 {
+		t.Fatalf("released %d, want 5", released)
+	}
+	if got := l.Consumed("q", 4); got != 0 {
+		t.Fatalf("evicted epoch consumed = %v", got)
+	}
+	if got := l.Consumed("q", 5); got != 1 {
+		t.Fatalf("surviving epoch consumed = %v", got)
+	}
+	if out := l.Charge("q", 4, 1); out != ChargeEvicted {
+		t.Fatalf("charge below floor = %v, want ChargeEvicted", out)
+	}
+	if rows := l.Rows(); len(rows) != 3 {
+		t.Fatalf("rows after eviction = %d, want 3", len(rows))
+	}
+	// A full eviction leaves an empty lane, matching the old empty inner
+	// map: the querier is still known, totals are zero.
+	if released := l.AdvanceFloor(100); released != 3 {
+		t.Fatalf("full eviction released %d, want 3", released)
+	}
+	l.RangeTotals(func(q string, total float64) {
+		if q != "q" || total != 0 {
+			t.Fatalf("post-eviction totals: %s=%v", q, total)
+		}
+	})
+}
+
+// TestLedgerRestore covers the persistence path: refund refusal, capacity
+// overrides, floor interaction.
+func TestLedgerRestore(t *testing.T) {
+	l := NewLedger(1)
+	if err := l.Restore("q", 2, 0.4, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Consumed("q", 2); got != 0.4 {
+		t.Fatalf("restored consumed = %v", got)
+	}
+	// Raising is fine; lowering is a refund and must fail.
+	if err := l.Restore("q", 2, 0.6, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Restore("q", 2, 0.5, 1); err == nil {
+		t.Fatal("refund accepted")
+	}
+	// Corrupt rows are refused.
+	if err := l.Restore("q", 3, -1, 1); err == nil {
+		t.Fatal("negative consumed accepted")
+	}
+	if err := l.Restore("q", 3, 2, 1); err == nil {
+		t.Fatal("over-capacity accepted")
+	}
+	// A differing capacity is honored per slot and survives in Rows.
+	if err := l.Restore("q", 4, 1.5, 2); err != nil {
+		t.Fatal(err)
+	}
+	var saw bool
+	for _, row := range l.Rows() {
+		if row.Epoch == 4 {
+			saw = true
+			if row.Capacity != 2 || row.Consumed != 1.5 {
+				t.Fatalf("override row = %+v", row)
+			}
+		} else if row.Capacity != 1 {
+			t.Fatalf("uniform row has capacity %v", row.Capacity)
+		}
+	}
+	if !saw {
+		t.Fatal("override slot missing from rows")
+	}
+	// The override slot enforces its own capacity.
+	if out := l.Charge("q", 4, 0.6); out != ChargeDenied {
+		t.Fatalf("override capacity not enforced: %v", out)
+	}
+	if out := l.Charge("q", 4, 0.5); out != ChargeOK {
+		t.Fatalf("override capacity too strict: %v", out)
+	}
+	// Below the floor, restore refuses to resurrect evicted epochs.
+	l.AdvanceFloor(10)
+	if err := l.Restore("q", 2, 0.9, 1); err == nil {
+		t.Fatal("restore below floor accepted")
+	}
+}
+
+// TestLedgerConcurrentRace hammers one ledger with concurrent charges,
+// window charges, reads, and floor advances — the -race coverage for the
+// single-mutex design. Consistency invariant: no slot ever exceeds capacity.
+func TestLedgerConcurrentRace(t *testing.T) {
+	l := NewLedger(1)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			q := []string{"a", "b"}[w%2]
+			losses := []float64{0.01, 0, 0.02}
+			outcomes := make([]ChargeOutcome, len(losses))
+			for i := 0; i < 200; i++ {
+				switch i % 4 {
+				case 0:
+					l.Charge(q, int64(i%20), 0.015)
+				case 1:
+					l.ChargeWindow(q, int64(i%20), losses, outcomes)
+				case 2:
+					l.Consumed(q, int64(i%20))
+					l.RangeTotals(func(string, float64) {})
+				case 3:
+					if w == 0 && i > 100 {
+						l.AdvanceFloor(int64(i / 50))
+					}
+					l.Rows()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, row := range l.Rows() {
+		if row.Consumed > row.Capacity {
+			t.Fatalf("slot %s/%d over capacity: %v", row.Querier, row.Epoch, row.Consumed)
+		}
+	}
+}

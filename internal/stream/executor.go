@@ -17,10 +17,12 @@ import (
 // specification this code must match bit for bit — see the package comment
 // for the three order-preserving properties the equivalence rests on.
 
-// convOutput is one conversion's generate-stage result.
+// convOutput is one conversion's generate-stage result. On-device runs carry
+// the fold-ready core.ReportStats instead of a full Diagnostics; the
+// generate stage reuses per-worker scratch and never materializes one.
 type convOutput struct {
 	report *core.Report
-	diag   *core.Diagnostics
+	stats  core.ReportStats
 	truth  float64 // Central path: the true report value
 }
 
@@ -157,9 +159,9 @@ func (s *Service) generateDay(due []*pendingQuery) []convOutput {
 		return out
 	}
 
-	reports, diags := GenerateReports(s.fleet, reqs, convs, s.cfg.Parallelism)
+	reports, stats := GenerateReports(s.fleet, reqs, convs, s.cfg.Parallelism)
 	for i := range out {
-		out[i] = convOutput{report: reports[i], diag: diags[i]}
+		out[i] = convOutput{report: reports[i], stats: stats[i]}
 	}
 	return out
 }
@@ -196,13 +198,13 @@ func (s *Service) aggregate(q *pendingQuery, outputs []convOutput) (Result, erro
 
 	reports := make([]*core.Report, len(outputs))
 	for i := range outputs {
-		diag := outputs[i].diag
-		res.Truth += diag.TrueHistogram.Total()
-		s.run.TotalConsumed += diag.TotalLoss()
-		if len(diag.DeniedEpochs) > 0 {
+		st := outputs[i].stats
+		res.Truth += st.TruthTotal
+		s.run.TotalConsumed += st.TotalLoss
+		if st.Denied {
 			res.DeniedReports++
 		}
-		if diag.Biased {
+		if st.Biased {
 			res.BiasedReports++
 		}
 		reports[i] = outputs[i].report

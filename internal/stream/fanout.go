@@ -11,20 +11,22 @@ import (
 // This file holds the deterministic fan-out primitives shared by the batch
 // engine (internal/workload's generate stage) and the streaming service's
 // per-day multiplexed generation. Both rely on the same two properties:
-// work partitioned by device keeps same-device filter operations sequential
+// work partitioned by device keeps same-device budget operations sequential
 // in submission order, and index-addressed output slots make the fold order
 // independent of the goroutine schedule.
 
-// FanOut runs fn(job) for jobs [0, n) on up to workers goroutines, pulling
-// jobs from an atomic queue. It propagates the first panic to the caller and
-// returns once every job finished.
-func FanOut(n, workers int, fn func(job int)) {
+// FanOutWorkers runs fn(worker, job) for jobs [0, n) on up to workers
+// goroutines, pulling jobs from an atomic queue. The worker index is dense
+// in [0, min(workers, n)) and identifies the calling goroutine, so callers
+// can hand each worker private scratch state without locking. It propagates
+// the first panic to the caller and returns once every job finished.
+func FanOutWorkers(n, workers int, fn func(worker, job int)) {
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for job := 0; job < n; job++ {
-			fn(job)
+			fn(0, job)
 		}
 		return
 	}
@@ -34,7 +36,7 @@ func FanOut(n, workers int, fn func(job int)) {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
@@ -50,9 +52,9 @@ func FanOut(n, workers int, fn func(job int)) {
 				if job >= n {
 					return
 				}
-				fn(job)
+				fn(w, job)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	if panicked != nil {
@@ -60,9 +62,26 @@ func FanOut(n, workers int, fn func(job int)) {
 	}
 }
 
+// FanOut is FanOutWorkers for callers with no per-worker state.
+func FanOut(n, workers int, fn func(job int)) {
+	FanOutWorkers(n, workers, func(_, job int) { fn(job) })
+}
+
+// scratchPerWorker sizes a per-worker scratch pool for n jobs on up to
+// workers goroutines (matching FanOutWorkers' clamping).
+func scratchPerWorker(n, workers int) []core.Scratch {
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return make([]core.Scratch, workers)
+}
+
 // GroupByDevice partitions batch indices by device, groups ordered by first
 // appearance and each group preserving batch order — the unit of parallel
-// work that keeps same-device filter operations sequential. When the batch
+// work that keeps same-device budget operations sequential. When the batch
 // concatenates several queries' conversions in canonical query order, the
 // groups serialize a device's operations across all of them, which is what
 // lets the streaming service multiplex queriers concurrently and still match
@@ -83,36 +102,42 @@ func GroupByDevice(batch []events.Event) [][]int {
 }
 
 // GenerateReports runs the on-device generate stage for one batch of
-// conversions: device-grouped GenerateReport calls fanned out across
-// workers, reports and diagnostics slotted by conversion index. This is the
+// conversions: device-grouped GenerateReportScratch calls fanned out across
+// workers, reports and fold-ready stats slotted by conversion index. Each
+// worker reuses one core.Scratch for its whole share of the batch, so the
+// per-conversion hot path allocates only the report it returns. This is the
 // single copy of the determinism-critical loop both engines execute — the
 // batch engine per query batch, the streaming service per day super-batch.
 func GenerateReports(fleet *core.Fleet, reqs []*core.Request, batch []events.Event,
-	workers int) (reports []*core.Report, diags []*core.Diagnostics) {
+	workers int) (reports []*core.Report, stats []core.ReportStats) {
 	reports = make([]*core.Report, len(batch))
-	diags = make([]*core.Diagnostics, len(batch))
+	stats = make([]core.ReportStats, len(batch))
 	groups := GroupByDevice(batch)
-	FanOut(len(groups), workers, func(g int) {
+	scratch := scratchPerWorker(len(groups), workers)
+	FanOutWorkers(len(groups), workers, func(w, g int) {
+		s := &scratch[w]
 		for _, i := range groups[g] {
 			dev := fleet.GetOrCreate(batch[i].Device)
-			rep, diag, err := dev.GenerateReport(reqs[i])
+			rep, st, err := dev.GenerateReportScratch(reqs[i], s)
 			if err != nil {
 				panic("stream: internal request invalid: " + err.Error())
 			}
-			reports[i], diags[i] = rep, diag
+			reports[i], stats[i] = rep, st
 		}
 	})
-	return reports, diags
+	return reports, stats
 }
 
 // TrueValues runs the centralized generate stage: every conversion's true
 // report value computed from the full data. The reads are side-effect free,
-// so the fan-out needs no device grouping.
+// so the fan-out needs no device grouping; the selection buffers are still
+// reused per worker.
 func TrueValues(db *events.Database, reqs []*core.Request, batch []events.Event,
 	workers int) []float64 {
 	out := make([]float64, len(batch))
-	FanOut(len(batch), workers, func(i int) {
-		out[i] = core.TrueReportValue(db, batch[i].Device, reqs[i])
+	scratch := scratchPerWorker(len(batch), workers)
+	FanOutWorkers(len(batch), workers, func(w, i int) {
+		out[i] = core.TrueReportValueScratch(db, batch[i].Device, reqs[i], &scratch[w])
 	})
 	return out
 }

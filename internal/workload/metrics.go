@@ -2,7 +2,7 @@ package workload
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/core"
 	"repro/internal/events"
@@ -37,11 +37,19 @@ func (r *Run) BudgetStats() (avg, max float64) {
 	for key := range r.requested {
 		keys = append(keys, key)
 	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].d != keys[j].d {
-			return keys[i].d < keys[j].d
+	slices.SortFunc(keys, func(a, b devEpoch) int {
+		switch {
+		case a.d != b.d:
+			if a.d < b.d {
+				return -1
+			}
+			return 1
+		case a.e < b.e:
+			return -1
+		case a.e > b.e:
+			return 1
 		}
-		return keys[i].e < keys[j].e
+		return 0
 	})
 	sum := 0.0
 	for _, key := range keys {
@@ -50,7 +58,7 @@ func (r *Run) BudgetStats() (avg, max float64) {
 		for q := range queriers {
 			sites = append(sites, q)
 		}
-		sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+		slices.Sort(sites)
 		total := 0.0
 		for _, q := range sites {
 			total += r.consumedAt(key.d, q, key.e)

@@ -25,10 +25,12 @@ import (
 // streams (stats.Stream) are consumed only by the sequential aggregate
 // stage, in query order.
 
-// convOutput is one conversion's generate-stage result.
+// convOutput is one conversion's generate-stage result. The fold-relevant
+// diagnostics arrive pre-reduced as core.ReportStats (per-worker scratch
+// reuse means no full Diagnostics is materialized on the hot path).
 type convOutput struct {
 	report *core.Report
-	diag   *core.Diagnostics
+	stats  core.ReportStats
 	truth  float64 // IPA-like path: the true report value
 }
 
@@ -36,10 +38,10 @@ type convOutput struct {
 // shared device-grouped loop (stream.GenerateReports), outputs slotted by
 // conversion index.
 func (r *Run) generateReports(reqs []*core.Request, batch []events.Event) []convOutput {
-	reports, diags := stream.GenerateReports(r.fleet, reqs, batch, r.Config.Parallelism)
+	reports, stats := stream.GenerateReports(r.fleet, reqs, batch, r.Config.Parallelism)
 	out := make([]convOutput, len(batch))
 	for i := range out {
-		out[i] = convOutput{report: reports[i], diag: diags[i]}
+		out[i] = convOutput{report: reports[i], stats: stats[i]}
 	}
 	return out
 }

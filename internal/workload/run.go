@@ -217,13 +217,13 @@ func (r *Run) executeQuery(service *aggregation.Service, p queryPlan) QueryResul
 		// conversion order, so sums are schedule-independent.
 		reports := make([]*core.Report, len(outputs))
 		for i := range outputs {
-			diag := outputs[i].diag
-			res.Truth += diag.TrueHistogram.Total()
-			r.totalConsumed += diag.TotalLoss()
-			if len(diag.DeniedEpochs) > 0 {
+			st := outputs[i].stats
+			res.Truth += st.TruthTotal
+			r.totalConsumed += st.TotalLoss
+			if st.Denied {
 				res.DeniedReports++
 			}
-			if diag.Biased {
+			if st.Biased {
 				res.BiasedReports++
 			}
 			reports[i] = outputs[i].report
