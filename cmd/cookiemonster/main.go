@@ -34,13 +34,30 @@ func main() {
 	streaming := flag.Bool("stream", false,
 		"run workloads through the online measurement service (day-ordered ingestion, "+
 			"day-clocked queries; results are identical to batch mode)")
+	checkpointDir := flag.String("checkpoint-dir", "",
+		"make streaming runs crash-safe: persist a write-ahead log and snapshots "+
+			"under this directory (implies -stream)")
+	snapshotEvery := flag.Int("snapshot-every", 7,
+		"snapshot cadence in days inside -checkpoint-dir (0 = WAL only)")
+	resume := flag.Bool("resume", false,
+		"recover interrupted runs from -checkpoint-dir's durable state and continue; "+
+			"results are identical to an uninterrupted run")
 	flag.Parse()
+
+	if *resume && *checkpointDir == "" {
+		fmt.Fprintln(os.Stderr, "-resume requires -checkpoint-dir")
+		os.Exit(2)
+	}
 
 	target := "all"
 	if flag.NArg() > 0 {
 		target = flag.Arg(0)
 	}
-	opts := experiments.Options{Quick: *quick, Seed: *seed, Parallelism: *parallel, Streaming: *streaming}
+	opts := experiments.Options{
+		Quick: *quick, Seed: *seed, Parallelism: *parallel,
+		Streaming:     *streaming || *checkpointDir != "",
+		CheckpointDir: *checkpointDir, SnapshotEveryDays: *snapshotEvery, Resume: *resume,
+	}
 
 	harnesses := map[string]func(experiments.Options) (tabler, error){
 		"fig4":     func(o experiments.Options) (tabler, error) { return experiments.Fig4(o) },

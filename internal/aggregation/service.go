@@ -14,6 +14,7 @@ package aggregation
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"sync"
 
 	"repro/internal/attribution"
@@ -180,4 +181,34 @@ func (s *Service) Watermark() core.Nonce {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.watermark
+}
+
+// SnapshotNonces returns the replay-protection state for checkpointing: the
+// retirement watermark and the consumed nonces above it, in ascending order.
+func (s *Service) SnapshotNonces() (watermark core.Nonce, seen []core.Nonce) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seen = make([]core.Nonce, 0, len(s.seen))
+	for n := range s.seen {
+		seen = append(seen, n)
+	}
+	slices.Sort(seen)
+	return s.watermark, seen
+}
+
+// RestoreNonces reinstates replay-protection state captured by
+// SnapshotNonces. Like Compact, it only ratchets: the watermark never moves
+// backwards and restored nonces are added to (never replace) the consumed
+// set, so replaying an old snapshot cannot weaken the one-use guarantee.
+func (s *Service) RestoreNonces(watermark core.Nonce, seen []core.Nonce) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if watermark > s.watermark {
+		s.watermark = watermark
+	}
+	for _, n := range seen {
+		if n > s.watermark {
+			s.seen[n] = struct{}{}
+		}
+	}
 }

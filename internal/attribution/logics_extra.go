@@ -85,7 +85,17 @@ func (d TimeDecay) Credits(imps []events.Event, value float64) []float64 {
 	if n == 0 {
 		return nil
 	}
-	newest := imps[n-1].Day
+	// The anchor is the maximum day, not imps[n-1]: for the documented
+	// ascending-order input they coincide, but an out-of-order list would
+	// otherwise produce negative ages, overflow Exp2 to +Inf, and turn
+	// every credit into NaN (Inf/Inf). Anchoring at the maximum keeps all
+	// ages ≥ 0, so weights stay in (0, 1] and the total is ≥ 1.
+	newest := imps[0].Day
+	for _, imp := range imps[1:] {
+		if imp.Day > newest {
+			newest = imp.Day
+		}
+	}
 	weights := make([]float64, n)
 	total := 0.0
 	for i, imp := range imps {

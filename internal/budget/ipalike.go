@@ -8,6 +8,8 @@
 package budget
 
 import (
+	"fmt"
+	"slices"
 	"sync"
 
 	"repro/internal/events"
@@ -100,3 +102,63 @@ func (b *IPALike) Consumed(q events.Site, e events.Epoch) float64 {
 
 // Capacity returns the per-epoch capacity.
 func (b *IPALike) Capacity() float64 { return b.capacity }
+
+// FilterRow is one initialized (querier, epoch) central filter, the unit of
+// the checkpoint snapshot.
+type FilterRow struct {
+	Querier  events.Site
+	Epoch    events.Epoch
+	Consumed float64
+}
+
+// Rows returns every initialized central filter's consumed budget, sorted by
+// querier then epoch — the checkpoint snapshot source.
+func (b *IPALike) Rows() []FilterRow {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var rows []FilterRow
+	for q, byEpoch := range b.filters {
+		for e, f := range byEpoch {
+			rows = append(rows, FilterRow{Querier: q, Epoch: e, Consumed: f.Consumed()})
+		}
+	}
+	slices.SortFunc(rows, func(x, y FilterRow) int {
+		if x.Querier != y.Querier {
+			if x.Querier < y.Querier {
+				return -1
+			}
+			return 1
+		}
+		switch {
+		case x.Epoch < y.Epoch:
+			return -1
+		case x.Epoch > y.Epoch:
+			return 1
+		}
+		return 0
+	})
+	return rows
+}
+
+// Restore sets one central filter's consumed budget from a persisted row.
+// Consumption is charged through the filter's own check-and-consume path on
+// a fresh filter, so a row that would exceed capacity is rejected rather
+// than silently clamped — a corrupt snapshot must not manufacture budget
+// headroom or hide an exhausted filter.
+func (b *IPALike) Restore(q events.Site, e events.Epoch, consumed float64) error {
+	if consumed < 0 {
+		return fmt.Errorf("budget: negative restored consumption %v for %s/%d", consumed, q, e)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	f := b.filter(q, e)
+	if already := f.Consumed(); already > consumed {
+		return fmt.Errorf("budget: restore would refund %s/%d from %v to %v", q, e, already, consumed)
+	} else if already > 0 {
+		consumed -= already
+	}
+	if err := f.Consume(consumed); err != nil {
+		return fmt.Errorf("budget: restoring %s/%d: %w", q, e, err)
+	}
+	return nil
+}

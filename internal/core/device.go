@@ -72,6 +72,15 @@ func (d *Device) ConsumedByQuerier() map[events.Site]float64 {
 	return out
 }
 
+// RestoreBudgetRow sets one (querier, epoch) budget slot from persisted
+// state — the checkpoint/restore path into the device's flat ledger. It
+// refuses refunds and epochs below the retention floor, and honors a
+// capacity differing from the device's ε^G per slot (see
+// privacy.Ledger.Restore).
+func (d *Device) RestoreBudgetRow(q events.Site, e events.Epoch, consumed, capacity float64) error {
+	return d.ledger.Restore(string(q), int64(e), consumed, capacity)
+}
+
 // GenerateReport runs Listing 1's compute_attribution_report for one
 // conversion. It always returns a fixed-shape report (null-padded when
 // budget or data is missing) so that report presence and shape leak nothing;

@@ -17,8 +17,11 @@ import (
 // Only filter states are persisted; the events database has its own
 // lifecycle, and loss policies are code, not state.
 
-// snapshotVersion guards the on-disk format.
-const snapshotVersion = 1
+// snapshotVersion guards the on-disk format. Version 2 added the retention
+// floor: without it, a restored device forgot which epochs it had already
+// evicted, and would charge (and attribute events to) epochs the original
+// device treated as permanently out of scope.
+const snapshotVersion = 2
 
 // filterState is one persisted (querier, epoch) filter row.
 type filterState struct {
@@ -33,7 +36,11 @@ type snapshot struct {
 	Version  int             `json:"version"`
 	Device   events.DeviceID `json:"device"`
 	Capacity float64         `json:"capacity"`
-	Filters  []filterState   `json:"filters"`
+	// Floor is the retention floor (see Device.SetEpochFloor): epochs
+	// strictly below it are permanently out of scope and their filter rows
+	// are gone from Filters.
+	Floor   events.Epoch  `json:"floor"`
+	Filters []filterState `json:"filters"`
 }
 
 // SaveBudgets serializes the device's filter table to w. The snapshot is a
@@ -45,6 +52,7 @@ func (d *Device) SaveBudgets(w io.Writer) error {
 		Version:  snapshotVersion,
 		Device:   d.id,
 		Capacity: d.capacity,
+		Floor:    d.EpochFloor(),
 		Filters:  make([]filterState, 0, len(rows)),
 	}
 	for _, r := range rows {
@@ -76,6 +84,10 @@ func (d *Device) LoadBudgets(rd io.Reader) error {
 	if snap.Device != d.id {
 		return fmt.Errorf("core: snapshot for device %d, not %d", snap.Device, d.id)
 	}
+	// Restore the retention floor before any rows: evicted epochs must stay
+	// evicted (recharging one would refund budget), and every valid row is
+	// at or above the floor, so the order is never restrictive.
+	d.SetEpochFloor(snap.Floor)
 	for _, fs := range snap.Filters {
 		if fs.Consumed < 0 || fs.Capacity < 0 || fs.Consumed > fs.Capacity*(1+1e-9) {
 			return fmt.Errorf("core: corrupt filter state %+v", fs)

@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"math"
+	"math/rand"
 	"strings"
 	"testing"
 
@@ -71,9 +72,11 @@ func TestLoadRejectsCorruptStates(t *testing.T) {
 	d, _ := paperDevice(t, CookieMonsterPolicy{}, 1.0)
 	cases := []string{
 		`{`, // malformed JSON
-		`{"version":99,"device":7,"capacity":1,"filters":[]}`,                                                    // bad version
-		`{"version":1,"device":7,"capacity":1,"filters":[{"querier":"x","epoch":0,"consumed":-1,"capacity":1}]}`, // negative consumed
-		`{"version":1,"device":7,"capacity":1,"filters":[{"querier":"x","epoch":0,"consumed":2,"capacity":1}]}`,  // over capacity
+		`{"version":99,"device":7,"capacity":1,"floor":0,"filters":[]}`,                                                     // bad version
+		`{"version":1,"device":7,"capacity":1,"filters":[]}`,                                                                // pre-floor format
+		`{"version":2,"device":7,"capacity":1,"floor":0,"filters":[{"querier":"x","epoch":0,"consumed":-1,"capacity":1}]}`,  // negative consumed
+		`{"version":2,"device":7,"capacity":1,"floor":0,"filters":[{"querier":"x","epoch":0,"consumed":2,"capacity":1}]}`,   // over capacity
+		`{"version":2,"device":7,"capacity":1,"floor":5,"filters":[{"querier":"x","epoch":0,"consumed":0.5,"capacity":1}]}`, // row below its own floor
 	}
 	for i, raw := range cases {
 		if err := d.LoadBudgets(strings.NewReader(raw)); err == nil {
@@ -94,6 +97,84 @@ func TestSaveEmptyDevice(t *testing.T) {
 	}
 	if len(restored.Ledger()) != 0 {
 		t.Fatal("empty snapshot created filters")
+	}
+}
+
+// TestPersistRoundTripProperty drives a device through randomized budget
+// histories — charges, snapshot restores with per-slot capacity overrides,
+// and retention-floor advances — then save/loads into a fresh device and
+// requires *behavioral* equivalence, not just equal rows: the same follow-up
+// charges must produce the same outcomes on both. This is the test that
+// catches floor amnesia: before snapshots carried the floor, a restored
+// device would happily charge an epoch the original had evicted (silently
+// refunding budget a crash should never refund).
+func TestPersistRoundTripProperty(t *testing.T) {
+	queriers := []events.Site{"nike.com", "adidas.com", "criteo.com"}
+	for seed := int64(1); seed <= 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		epsG := []float64{0.01, 0.5, 1, 3}[rng.Intn(4)]
+		db := events.NewDatabase()
+		d := NewDevice(7, db, epsG, CookieMonsterPolicy{})
+
+		// A random budget history. Restores use random capacities, so some
+		// slots end up with per-slot overrides differing from ε^G.
+		for op := 0; op < 120; op++ {
+			q := queriers[rng.Intn(len(queriers))]
+			e := events.Epoch(rng.Intn(40))
+			switch rng.Intn(10) {
+			case 0: // retention-floor advance (sometimes a no-op)
+				d.SetEpochFloor(events.Epoch(rng.Intn(30) - 5))
+			case 1, 2: // snapshot-restore row, possibly with a capacity override
+				capacity := epsG
+				if rng.Intn(2) == 0 {
+					capacity = rng.Float64() * 4
+				}
+				consumed := rng.Float64() * capacity
+				// May legitimately fail (refund refusal, below floor).
+				d.RestoreBudgetRow(q, e, consumed, capacity)
+			default: // plain charge
+				d.testCharge(q, e, rng.Float64()*epsG*1.3)
+			}
+		}
+
+		var buf bytes.Buffer
+		if err := d.SaveBudgets(&buf); err != nil {
+			t.Fatalf("seed %d: save: %v", seed, err)
+		}
+		restored := NewDevice(7, db, epsG, CookieMonsterPolicy{})
+		if err := restored.LoadBudgets(&buf); err != nil {
+			t.Fatalf("seed %d: load: %v", seed, err)
+		}
+
+		// State equivalence: identical floor and identical rows (consumed
+		// and per-slot capacities, bitwise).
+		if got, want := restored.EpochFloor(), d.EpochFloor(); got != want {
+			t.Fatalf("seed %d: restored floor %d, want %d", seed, got, want)
+		}
+		origRows, restRows := d.Ledger(), restored.Ledger()
+		if len(origRows) != len(restRows) {
+			t.Fatalf("seed %d: %d rows restored, want %d", seed, len(restRows), len(origRows))
+		}
+		for i := range origRows {
+			if origRows[i] != restRows[i] {
+				t.Fatalf("seed %d: row %d restored as %+v, want %+v",
+					seed, i, restRows[i], origRows[i])
+			}
+		}
+
+		// Behavioral equivalence: an identical follow-up charge sequence —
+		// including charges below the original floor and charges probing
+		// each override slot's remaining headroom — must branch identically.
+		for op := 0; op < 150; op++ {
+			q := queriers[rng.Intn(len(queriers))]
+			e := events.Epoch(rng.Intn(40) - 8) // reaches below any floor
+			eps := rng.Float64() * epsG * 1.3
+			got, want := restored.testCharge(q, e, eps), d.testCharge(q, e, eps)
+			if got != want {
+				t.Fatalf("seed %d: post-restore charge(%s, %d, %v) = %v on restored, %v on original",
+					seed, q, e, eps, got, want)
+			}
+		}
 	}
 }
 

@@ -18,6 +18,27 @@ var nonceCounter atomic.Uint64
 // 128-bit value; uniqueness is the only property the protocol needs.
 func newNonce() Nonce { return Nonce(nonceCounter.Add(1)) }
 
+// NonceFloor returns the highest nonce minted so far — the high-water mark a
+// crash-safe service records so that a restarted process never re-mints a
+// nonce the aggregation service has already consumed or retired.
+func NonceFloor() Nonce { return Nonce(nonceCounter.Load()) }
+
+// EnsureNonceFloor ratchets the nonce counter up to at least floor, so every
+// nonce minted from now on is strictly greater. It never lowers the counter
+// (which could re-mint a consumed nonce); a CAS loop keeps concurrent
+// ratchets monotone.
+func EnsureNonceFloor(floor Nonce) {
+	for {
+		cur := nonceCounter.Load()
+		if cur >= uint64(floor) {
+			return
+		}
+		if nonceCounter.CompareAndSwap(cur, uint64(floor)) {
+			return
+		}
+	}
+}
+
 // Report is the attribution report ρ a device returns for a conversion. In a
 // deployment the histogram and bias flag are secret-shared/encrypted toward
 // the MPC/TEE with (Nonce, Epsilon, QuerySensitivity) as authenticated data;

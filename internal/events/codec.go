@@ -1,0 +1,107 @@
+package events
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Compact binary encoding for events — the hot serialization on the
+// streaming service's durability path, where every ingested event is
+// written ahead to the WAL and every live device-epoch record is serialized
+// into each snapshot. A hand-rolled fixed layout here is ~10× cheaper than
+// reflective JSON and keeps checkpoint overhead from dominating ingest.
+//
+// Layout (little-endian): ID u64, Kind u8, Device u64, Day i64,
+// four length-prefixed strings (u32 + bytes): Publisher, Advertiser,
+// Campaign, Product, then Value as IEEE-754 bits (u64) — bit-exact by
+// construction.
+
+// AppendBinary appends ev's binary encoding to buf and returns the
+// extended slice.
+func AppendBinary(buf []byte, ev Event) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(ev.ID))
+	buf = append(buf, byte(ev.Kind))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(ev.Device))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(ev.Day)))
+	for _, s := range [...]string{string(ev.Publisher), string(ev.Advertiser), ev.Campaign, ev.Product} {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
+		buf = append(buf, s...)
+	}
+	return binary.LittleEndian.AppendUint64(buf, math.Float64bits(ev.Value))
+}
+
+// DecodeBinary decodes one event from the front of buf, returning the event
+// and the remaining bytes. It never panics on truncated or oversized input.
+func DecodeBinary(buf []byte) (Event, []byte, error) {
+	var ev Event
+	if len(buf) < 8+1+8+8 {
+		return ev, nil, fmt.Errorf("events: truncated event header (%d bytes)", len(buf))
+	}
+	ev.ID = EventID(binary.LittleEndian.Uint64(buf))
+	ev.Kind = Kind(buf[8])
+	ev.Device = DeviceID(binary.LittleEndian.Uint64(buf[9:]))
+	ev.Day = int(int64(binary.LittleEndian.Uint64(buf[17:])))
+	buf = buf[25:]
+	var fields [4]string
+	for i := range fields {
+		if len(buf) < 4 {
+			return ev, nil, fmt.Errorf("events: truncated string length")
+		}
+		n := int(binary.LittleEndian.Uint32(buf))
+		buf = buf[4:]
+		if n < 0 || n > len(buf) {
+			return ev, nil, fmt.Errorf("events: string of %d bytes exceeds buffer", n)
+		}
+		fields[i] = string(buf[:n])
+		buf = buf[n:]
+	}
+	ev.Publisher = Site(fields[0])
+	ev.Advertiser = Site(fields[1])
+	ev.Campaign = fields[2]
+	ev.Product = fields[3]
+	if len(buf) < 8 {
+		return ev, nil, fmt.Errorf("events: truncated value")
+	}
+	ev.Value = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+	return ev, buf[8:], nil
+}
+
+// MarshalEvents encodes a slice of events with a count prefix.
+func MarshalEvents(evs []Event) []byte {
+	buf := binary.LittleEndian.AppendUint32(nil, uint32(len(evs)))
+	for _, ev := range evs {
+		buf = AppendBinary(buf, ev)
+	}
+	return buf
+}
+
+// UnmarshalEvents decodes a MarshalEvents blob.
+func UnmarshalEvents(buf []byte) ([]Event, error) {
+	if len(buf) < 4 {
+		return nil, fmt.Errorf("events: truncated event list")
+	}
+	n := int(binary.LittleEndian.Uint32(buf))
+	buf = buf[4:]
+	if n == 0 {
+		return nil, nil
+	}
+	const minEventLen = 8 + 1 + 8 + 8 + 4*4 + 8
+	if n < 0 || n > len(buf)/minEventLen+1 {
+		return nil, fmt.Errorf("events: implausible event count %d for %d bytes", n, len(buf))
+	}
+	out := make([]Event, 0, n)
+	var ev Event
+	var err error
+	for i := 0; i < n; i++ {
+		ev, buf, err = DecodeBinary(buf)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ev)
+	}
+	if len(buf) != 0 {
+		return nil, fmt.Errorf("events: %d trailing bytes after event list", len(buf))
+	}
+	return out, nil
+}

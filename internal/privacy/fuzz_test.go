@@ -1,0 +1,178 @@
+package privacy
+
+import (
+	"math"
+	"testing"
+)
+
+// refRestore extends the ledger_test reference model with Ledger.Restore's
+// semantics: refuse corrupt rows, refund attempts, and epochs below the
+// floor; clamp consumed to capacity; honor a per-slot capacity by giving the
+// slot its own Filter with that capacity.
+func (r *filterMapRef) restore(q string, e int64, consumed, capacity float64) bool {
+	if consumed < 0 || capacity < 0 || consumed > capacity*(1+1e-9) {
+		return false
+	}
+	if e < r.floor {
+		return false
+	}
+	byEpoch := r.budgets[q]
+	if byEpoch == nil {
+		byEpoch = make(map[int64]*Filter)
+		r.budgets[q] = byEpoch
+	}
+	if f := byEpoch[e]; f != nil && f.Consumed() > consumed {
+		return false // refund
+	}
+	if consumed > capacity {
+		consumed = capacity
+	}
+	f := NewFilter(capacity)
+	if consumed > 0 {
+		if err := f.Consume(consumed); err != nil {
+			return false
+		}
+	}
+	byEpoch[e] = f
+	return true
+}
+
+// FuzzLedgerChargeWindow decodes arbitrary bytes into an operation sequence
+// — single charges, whole-window charges, retention-floor advances, and
+// snapshot restores (the checkpoint/recovery path, with per-slot capacity
+// overrides) — and drives the flat Ledger and the map-of-filters reference
+// model through it in lockstep. Every outcome, every read, and the full
+// final slot table must match bitwise. This is the property test from
+// ledger_test.go with fuzzer-chosen interleavings instead of a fixed random
+// schedule: the charge/evict/restore orderings a crash-recovery cycle
+// produces are exactly the ones hand-picked schedules miss.
+func FuzzLedgerChargeWindow(f *testing.F) {
+	// Seeds: a plain charge run; charges straddling a floor advance;
+	// restore-then-charge (recovery); restore below floor and refund
+	// attempts; window charges with zero-loss epochs.
+	f.Add([]byte{2, 100, 200, 50, 255, 30})
+	f.Add([]byte{2, 100, 0, 28, 100, 140, 120, 180})
+	f.Add([]byte{3, 2, 10, 120, 200, 2, 10, 60, 100, 100, 10, 255})
+	f.Add([]byte{1, 0, 40, 2, 5, 200, 100, 150, 2, 5, 90, 255})
+	f.Add([]byte{0, 1, 20, 3, 0, 128, 0, 255, 64})
+
+	queriers := []string{"nike.com", "adidas.com", "criteo.com"}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		// The first byte picks the shared capacity ε^G (including the
+		// degenerate 0, where every positive charge denies). The op stream
+		// is capped so a single exec stays microseconds — interleaving
+		// coverage comes from many executions, not long ones.
+		capacity := []float64{0, 0.01, 1, 5}[int(data[0])%4]
+		data = data[1:]
+		if len(data) > 256 {
+			data = data[:256]
+		}
+		l := NewLedger(capacity)
+		ref := newFilterMapRef(capacity)
+
+		next := func() (byte, bool) {
+			if len(data) == 0 {
+				return 0, false
+			}
+			b := data[0]
+			data = data[1:]
+			return b, true
+		}
+		eps := func(b byte) float64 { return float64(b) / 255 * (capacity*1.3 + 0.01) }
+
+		for {
+			op, ok := next()
+			if !ok {
+				break
+			}
+			qb, _ := next()
+			eb, _ := next()
+			q := queriers[int(qb)%len(queriers)]
+			e := int64(int(eb)%60 - 10)
+			switch op % 5 {
+			case 0: // floor advance (sometimes backwards: must be a no-op)
+				if got, want := l.AdvanceFloor(e), ref.advanceFloor(e); got != want {
+					t.Fatalf("AdvanceFloor(%d) released %d, ref %d", e, got, want)
+				}
+			case 1: // whole-window charge with a fuzzer-chosen loss vector
+				kb, _ := next()
+				k := int(kb)%7 + 1
+				losses := make([]float64, k)
+				for i := range losses {
+					lb, _ := next()
+					if lb%4 != 0 { // keep genuine zero-loss epochs in the mix
+						losses[i] = eps(lb)
+					}
+				}
+				outcomes := make([]ChargeOutcome, k)
+				l.ChargeWindow(q, e, losses, outcomes)
+				for i, lossI := range losses {
+					if want := ref.charge(q, e+int64(i), lossI); outcomes[i] != want {
+						t.Fatalf("window outcome[%d] at epoch %d = %v, ref %v",
+							i, e+int64(i), outcomes[i], want)
+					}
+				}
+			case 2: // snapshot restore, possibly with a capacity override
+				cb, _ := next()
+				vb, _ := next()
+				slotCap := capacity
+				if cb%2 == 0 {
+					slotCap = float64(cb) / 255 * 4
+				}
+				consumed := float64(vb) / 255 * slotCap * 1.05 // sometimes above capacity
+				gotErr := l.Restore(q, e, consumed, slotCap) != nil
+				wantErr := !ref.restore(q, e, consumed, slotCap)
+				if gotErr != wantErr {
+					t.Fatalf("Restore(%s, %d, %v, %v) error=%t, ref error=%t",
+						q, e, consumed, slotCap, gotErr, wantErr)
+				}
+			default: // single charge
+				lb, _ := next()
+				loss := 0.0
+				if lb%4 != 0 {
+					loss = eps(lb)
+				}
+				if got, want := l.Charge(q, e, loss), ref.charge(q, e, loss); got != want {
+					t.Fatalf("Charge(%s, %d, %v) = %v, ref %v", q, e, loss, got, want)
+				}
+			}
+			// Read-back after every op.
+			if got, want := l.Consumed(q, e), ref.consumed(q, e); got != want {
+				t.Fatalf("Consumed(%s, %d) = %v, ref %v", q, e, got, want)
+			}
+		}
+
+		// Full final state: floor, totals, and every slot bitwise.
+		if l.Floor() != ref.floor {
+			t.Fatalf("floor %d, ref %d", l.Floor(), ref.floor)
+		}
+		want := ref.rows()
+		for _, row := range l.Rows() {
+			wantC, ok := want[row.Querier][row.Epoch]
+			if !ok {
+				t.Fatalf("ledger has slot %s/%d the reference lacks", row.Querier, row.Epoch)
+			}
+			if row.Consumed != wantC {
+				t.Fatalf("slot %s/%d consumed %v, ref %v", row.Querier, row.Epoch, row.Consumed, wantC)
+			}
+			if refCap := ref.budgets[row.Querier][row.Epoch].Capacity(); row.Capacity != refCap {
+				t.Fatalf("slot %s/%d capacity %v, ref %v", row.Querier, row.Epoch, row.Capacity, refCap)
+			}
+			delete(want[row.Querier], row.Epoch)
+		}
+		for q, byEpoch := range want {
+			for e, c := range byEpoch {
+				// The reference creates a filter row even for an untouched
+				// denial at capacity 0 — so does the ledger; anything left
+				// here is a slot the ledger dropped.
+				if !math.IsNaN(c) {
+					t.Fatalf("reference has slot %s/%d (consumed %v) the ledger lacks", q, e, c)
+				}
+			}
+		}
+	})
+}

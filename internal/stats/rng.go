@@ -54,6 +54,22 @@ func Stream(seed uint64, name string) *RNG {
 	return NewRNG(h.Sum64())
 }
 
+// State returns the generator's internal state, for checkpointing. A
+// generator restored with SetState continues the exact variate sequence this
+// one would have produced — the property crash recovery relies on to keep
+// noise streams bit-identical across a restart.
+func (r *RNG) State() [4]uint64 { return r.s }
+
+// SetState overwrites the generator's internal state with one previously
+// returned by State. It panics on the all-zero state, which xoshiro256**
+// cannot escape (and which State never returns).
+func (r *RNG) SetState(s [4]uint64) {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		panic("stats: all-zero RNG state")
+	}
+	r.s = s
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 pseudo-random bits (xoshiro256**).

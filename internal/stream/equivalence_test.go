@@ -11,8 +11,8 @@ import (
 	"runtime"
 	"testing"
 
-	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/figures"
 	"repro/internal/stream"
 	"repro/internal/workload"
 )
@@ -30,18 +30,18 @@ func smallMicro(t *testing.T, knob1, knob2 float64) *dataset.Dataset {
 	return ds
 }
 
-func smallCriteo(t *testing.T) *dataset.Dataset {
+// figureConfig returns a cataloged figure workload's configuration.
+func figureConfig(t *testing.T, name string) workload.Config {
 	t.Helper()
-	cfg := dataset.DefaultCriteoConfig()
-	cfg.Advertisers = 30
-	cfg.Users = 3000
-	cfg.TotalConversions = 12000
-	cfg.MinBatch = 150
-	ds, err := dataset.Criteo(cfg)
+	w, err := figures.ByName(name)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return ds
+	cfg, err := w.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
 }
 
 // resultsIdentical compares QueryResult slices bit-for-bit (struct equality
@@ -96,44 +96,28 @@ func metricsIdentical(t *testing.T, label string, batch, streamed *workload.Run)
 // TestStreamingBatchEquivalence is the tentpole's acceptance check: for
 // every system (and with bias measurement and an ablation policy override),
 // the streaming service must reproduce the batch engine's QueryResults
-// bit-identically at parallelism 1, 4, and GOMAXPROCS.
+// bit-identically at parallelism 1, 4, and GOMAXPROCS. The batch reference
+// comes from the shared per-binary cache (golden_test.go), whose digest is
+// itself pinned by testdata/golden/.
 func TestStreamingBatchEquivalence(t *testing.T) {
-	ds := smallMicro(t, 1.0, 0.5)
-	biasSpec := &core.BiasSpec{LastTouch: true}
-	cases := []struct {
-		name string
-		cfg  workload.Config
-	}{
-		{"cookie-monster", workload.Config{Dataset: ds, System: workload.CookieMonster, EpsilonG: 2, Seed: 7}},
-		{"ara-like", workload.Config{Dataset: ds, System: workload.ARALike, EpsilonG: 2, Seed: 7}},
-		{"ipa-like", workload.Config{Dataset: ds, System: workload.IPALike, EpsilonG: 2, Seed: 7}},
-		{"cm-bias", workload.Config{Dataset: ds, System: workload.CookieMonster, EpsilonG: 2, Seed: 7, Bias: biasSpec}},
-		{"ablation-policy", workload.Config{Dataset: ds, System: workload.CookieMonster, EpsilonG: 2, Seed: 7,
-			PolicyOverride: core.ZeroLossOnlyPolicy{}}},
-		{"capped-queries", workload.Config{Dataset: ds, System: workload.CookieMonster, EpsilonG: 2, Seed: 7,
-			MaxQueriesPerProduct: 1}},
-	}
-	for _, tc := range cases {
-		t.Run(tc.name, func(t *testing.T) {
-			seq := tc.cfg
-			seq.Parallelism = 1
-			batch, err := workload.Execute(seq)
-			if err != nil {
-				t.Fatal(err)
-			}
+	for _, name := range []string{
+		"cookie-monster", "ara-like", "ipa-like",
+		"cm-bias", "ablation-policy", "capped-queries",
+	} {
+		t.Run(name, func(t *testing.T) {
+			batch := batchRef(t, name)
 			if len(batch.Results) == 0 {
 				t.Fatal("batch run produced no queries")
 			}
 			for _, par := range []int{1, 4, runtime.GOMAXPROCS(0)} {
-				cfg := tc.cfg
+				cfg := figureConfig(t, name)
 				cfg.Parallelism = par
 				streamed, err := workload.ExecuteStream(cfg)
 				if err != nil {
 					t.Fatal(err)
 				}
-				label := tc.name
-				resultsIdentical(t, label, batch.Results, streamed.Results)
-				metricsIdentical(t, label, batch, streamed)
+				resultsIdentical(t, name, batch.Results, streamed.Results)
+				metricsIdentical(t, name, batch, streamed)
 			}
 		})
 	}
@@ -144,28 +128,25 @@ func TestStreamingBatchEquivalence(t *testing.T) {
 // them through one super-batch — the regime where a wrong canonical order or
 // a device shared across queriers would diverge from the batch schedule.
 func TestStreamingEquivalenceCriteo(t *testing.T) {
-	ds := smallCriteo(t)
-	for _, system := range workload.Systems {
-		cfg := workload.Config{Dataset: ds, System: system, EpsilonG: 2, Seed: 11}
-		batch, err := workload.Execute(cfg)
-		if err != nil {
-			t.Fatal(err)
-		}
+	for _, name := range []string{"criteo-cm", "criteo-ara", "criteo-ipa"} {
+		batch := batchRef(t, name)
 		if len(batch.Results) < 10 {
 			t.Fatalf("criteo run produced only %d queries", len(batch.Results))
 		}
+		cfg := figureConfig(t, name)
 		cfg.Parallelism = runtime.GOMAXPROCS(0)
 		streamed, err := workload.ExecuteStream(cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
-		resultsIdentical(t, system.String(), batch.Results, streamed.Results)
-		metricsIdentical(t, system.String(), batch, streamed)
+		resultsIdentical(t, name, batch.Results, streamed.Results)
+		metricsIdentical(t, name, batch, streamed)
 	}
 }
 
 // TestStreamingEquivalenceSyntheticSource runs the generator-backed source
-// both ways: materialized through the batch engine, and streamed directly —
+// both ways: materialized through the batch engine (the cataloged
+// "synthetic-cm" workload), and streamed directly from a fresh generator —
 // the trace is never held in memory on the streaming side.
 func TestStreamingEquivalenceSyntheticSource(t *testing.T) {
 	cfg := dataset.DefaultSyntheticConfig()
@@ -179,12 +160,7 @@ func TestStreamingEquivalenceSyntheticSource(t *testing.T) {
 		}
 		return src
 	}
-	wcfg := workload.Config{Dataset: dataset.Materialize(newSource()), System: workload.CookieMonster,
-		EpsilonG: 2, Seed: 3}
-	batch, err := workload.Execute(wcfg)
-	if err != nil {
-		t.Fatal(err)
-	}
+	batch := batchRef(t, "synthetic-cm")
 	if len(batch.Results) == 0 {
 		t.Fatal("no queries from synthetic source")
 	}
@@ -192,7 +168,7 @@ func TestStreamingEquivalenceSyntheticSource(t *testing.T) {
 	// the source's metadata, and the Run's metrics must still work
 	// (metricsIdentical reads the population- and advertiser-dependent
 	// ones).
-	scfg := wcfg
+	scfg := figureConfig(t, "synthetic-cm")
 	scfg.Dataset = nil
 	streamed, err := workload.ExecuteSource(scfg, newSource())
 	if err != nil {

@@ -76,6 +76,9 @@ func (s *Service) flushDue() error {
 		s.nextIndex++
 		res.AvgBudgetAfter = s.populationAvgBudget()
 		s.run.Results = append(s.run.Results, res)
+		if err := s.fault(PointQueryExecuted); err != nil {
+			return err
+		}
 	}
 
 	// Batch completion: every nonce minted for today's queries has been

@@ -1,0 +1,91 @@
+package stream_test
+
+// Golden-output fixtures: the canonical SHA-256 digest of each figure
+// workload's batch reference (every QueryResult field plus the post-run
+// budget metrics — see workload.(*Run).CanonicalDigest) is committed under
+// testdata/golden/. The digests pin the batch engine's output across
+// refactors, and let the equivalence suite here and the crash-recovery
+// harness (internal/checkpoint) verify against one shared reference instead
+// of recomputing the batch run per test.
+//
+// Regenerate after an intentional output change with
+//
+//	go test ./internal/stream -run TestGolden -update
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/figures"
+	"repro/internal/workload"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata/golden/digests.json from the current batch engine")
+
+// batchRef returns the per-process cached batch reference for one cataloged
+// workload (figures.BatchRef).
+func batchRef(t *testing.T, name string) *workload.Run {
+	t.Helper()
+	run, err := figures.BatchRef(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return run
+}
+
+// TestGolden holds every figure workload's batch output to its committed
+// digest (or rewrites the file under -update).
+func TestGolden(t *testing.T) {
+	digests := make(map[string]string)
+	for _, w := range figures.All() {
+		digests[w.Name] = batchRef(t, w.Name).CanonicalDigest()
+	}
+
+	if *update {
+		goldenPath := filepath.Join("..", "..", "testdata", "golden", "digests.json")
+		out, err := json.MarshalIndent(digests, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(out, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s with %d digests", goldenPath, len(digests))
+		return
+	}
+
+	goldenPath, err := figures.GoldenDigestsPath()
+	if err != nil {
+		t.Fatalf("locating golden digests (regenerate with -update): %v", err)
+	}
+	raw, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden digests (regenerate with -update): %v", err)
+	}
+	var committed map[string]string
+	if err := json.Unmarshal(raw, &committed); err != nil {
+		t.Fatalf("decoding golden digests: %v", err)
+	}
+	for name, digest := range digests {
+		want, ok := committed[name]
+		if !ok {
+			t.Errorf("%s: no committed digest (regenerate with -update)", name)
+			continue
+		}
+		if digest != want {
+			t.Errorf("%s: batch output digest %s, committed %s — the engine's "+
+				"output changed; if intentional, regenerate with -update", name, digest, want)
+		}
+	}
+	for name := range committed {
+		if _, ok := digests[name]; !ok {
+			t.Errorf("%s: committed digest for unknown workload (regenerate with -update)", name)
+		}
+	}
+}

@@ -37,11 +37,13 @@
 package stream
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 
 	"repro/internal/aggregation"
 	"repro/internal/budget"
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/events"
@@ -96,6 +98,22 @@ type Config struct {
 	// metrics is skipped. Query results are bit-identical either way;
 	// Lean trades post-run budget metrics for bounded resident state.
 	Lean bool
+
+	// CheckpointDir enables crash safety: every ingested event is logged
+	// to a write-ahead log in this directory before it is applied, day
+	// boundaries commit snapshots per SnapshotEveryDays, and Serve writes
+	// a final snapshot on completion. ResumeFrom rebuilds a service from
+	// the directory after a crash. Empty disables durability.
+	CheckpointDir string
+	// SnapshotEveryDays commits a full snapshot (and rotates the WAL) at
+	// every N-th completed day while serving. 0 keeps only the WAL during
+	// the run — recovery then replays from the stream's beginning (or the
+	// last explicit Checkpoint). Ignored without CheckpointDir.
+	SnapshotEveryDays int
+	// FaultHook, when non-nil, observes every state transition (see
+	// FaultPoint) and can return an error to simulate a crash there. Test
+	// instrumentation; nil in production.
+	FaultHook FaultHook
 }
 
 // withDefaults fills zero values.
@@ -138,6 +156,10 @@ func (c Config) validate() error {
 		return fmt.Errorf("stream: negative parallelism")
 	case c.QueueSize < 0:
 		return fmt.Errorf("stream: negative queue size")
+	case c.SnapshotEveryDays < 0:
+		return fmt.Errorf("stream: negative snapshot cadence")
+	case c.SnapshotEveryDays > 0 && c.CheckpointDir == "":
+		return fmt.Errorf("stream: snapshot cadence without checkpoint directory")
 	}
 	return nil
 }
@@ -222,6 +244,7 @@ type Service struct {
 	fleet    *core.Fleet
 	central  *budget.IPALike
 	agg      *aggregation.Service
+	aggNoise *stats.RNG
 	ipaNoise *stats.RNG
 	plan     *planner
 	run      *Run
@@ -231,6 +254,21 @@ type Service struct {
 	due        []*pendingQuery
 	nextIndex  int
 	evictFloor events.Epoch
+
+	// Durability state (nil/zero without Config.CheckpointDir).
+	wal         *checkpoint.WAL
+	walBuf      []byte // reused WAL record encoding buffer
+	lastSnapDay int
+	// skip counts source events already covered by the restored durable
+	// state; Serve discards that prefix before going live (the source
+	// delivers events in a deterministic order, so skip-by-count is exact).
+	skip int
+	// resumed marks a service built by ResumeFrom: Serve continues the
+	// checkpoint directory's run instead of reinitializing it.
+	resumed bool
+	// replaying is set while ResumeFrom feeds WAL records through the
+	// ingest path: no WAL writes, no snapshots, no fault hooks.
+	replaying bool
 }
 
 // New builds a service for cfg without consuming the source.
@@ -240,12 +278,14 @@ func New(cfg Config) (*Service, error) {
 		return nil, err
 	}
 	meta := cfg.Source.Meta()
+	aggNoise := stats.Stream(cfg.Seed, "aggregation-noise")
 	s := &Service{
-		cfg:  cfg,
-		meta: meta,
-		db:   events.NewDatabase(),
-		agg:  aggregation.NewService(stats.Stream(cfg.Seed, "aggregation-noise")),
-		plan: newPlanner(meta, cfg.Calibration, cfg.FixedEpsilon, cfg.MaxQueriesPerProduct),
+		cfg:      cfg,
+		meta:     meta,
+		db:       events.NewDatabase(),
+		agg:      aggregation.NewService(aggNoise),
+		aggNoise: aggNoise,
+		plan:     newPlanner(meta, cfg.Calibration, cfg.FixedEpsilon, cfg.MaxQueriesPerProduct),
 		run: &Run{
 			Meta:        meta,
 			TotalEpochs: meta.Epochs(cfg.EpochDays),
@@ -283,7 +323,50 @@ func New(cfg Config) (*Service, error) {
 // bounded ingest queue while the service's day clock ingests events, fires
 // due queries at each day boundary, and advances retention. It returns the
 // completed run. Serve is single-shot; the service cannot be reused.
-func (s *Service) Serve() (*Run, error) {
+//
+// With Config.CheckpointDir set, every event is logged ahead of being
+// applied, snapshots commit on the SnapshotEveryDays cadence, and a final
+// snapshot commits on completion. On a resumed service (ResumeFrom), the
+// source prefix the durable state already covers is skipped before the day
+// clock goes live.
+func (s *Service) Serve() (run *Run, err error) {
+	if s.cfg.CheckpointDir != "" {
+		if !s.resumed {
+			// A fresh run owns the directory: commit an initial snapshot
+			// (whose scenario fingerprint every later ResumeFrom must
+			// match, even before the first cadence snapshot) and truncate
+			// any stale WAL, so leftovers from a previous run can never
+			// leak into this one's recovery.
+			if err := s.Checkpoint(s.cfg.CheckpointDir); err != nil {
+				return nil, err
+			}
+			if err := checkpoint.ResetWAL(s.cfg.CheckpointDir); err != nil {
+				return nil, err
+			}
+		}
+		wal, err := checkpoint.OpenWAL(s.cfg.CheckpointDir)
+		if err != nil {
+			return nil, err
+		}
+		s.wal = wal
+		defer func() {
+			if s.wal == nil {
+				return
+			}
+			// An injected fault is a simulated kill: drop the buffered WAL
+			// tail rather than flushing it, so the directory is left no
+			// more durable than a real crash would leave it (and the
+			// recovery harness genuinely exercises lost-tail recovery).
+			var fe *FaultError
+			if errors.As(err, &fe) {
+				s.wal.Abandon()
+			} else {
+				s.wal.Close()
+			}
+			s.wal = nil
+		}()
+	}
+
 	queue := make(chan events.Event, s.cfg.QueueSize)
 	done := make(chan struct{})
 	defer close(done)
@@ -302,34 +385,68 @@ func (s *Service) Serve() (*Run, error) {
 		}
 	}()
 
+	skip := s.skip
 	for ev := range queue {
+		if skip > 0 {
+			skip--
+			continue
+		}
 		// Occupancy after the receive: how much buffered backlog the
 		// producer built up while the day clock was busy.
 		if depth := len(queue); depth > s.run.PeakQueue {
 			s.run.PeakQueue = depth
 		}
-		if !s.started {
-			s.started = true
-			s.curDay = ev.Day
+		if err := s.step(ev); err != nil {
+			return nil, err
 		}
-		switch {
-		case ev.Day < s.curDay:
-			return nil, fmt.Errorf("stream: source out of order: day %d after day %d",
-				ev.Day, s.curDay)
-		case ev.Day > s.curDay:
-			if err := s.endOfDay(ev.Day); err != nil {
-				return nil, err
-			}
-			s.curDay = ev.Day
-		}
-		s.ingest(ev)
 	}
 	if s.started {
 		if err := s.endOfDay(s.curDay + 1); err != nil {
 			return nil, err
 		}
 	}
+	if s.wal != nil {
+		// Final commit: the completed run's full state, subsuming the WAL.
+		if err := s.wal.Sync(); err != nil {
+			return nil, err
+		}
+		if err := s.Checkpoint(s.cfg.CheckpointDir); err != nil {
+			return nil, err
+		}
+		if err := checkpoint.ResetWAL(s.cfg.CheckpointDir); err != nil {
+			return nil, err
+		}
+	}
 	return s.run, nil
+}
+
+// step advances the day clock for one event and applies it — the single
+// ingest path shared by live serving and WAL replay. On the live path the
+// event reaches the write-ahead log before any in-memory state changes.
+func (s *Service) step(ev events.Event) error {
+	if !s.started {
+		s.started = true
+		s.curDay = ev.Day
+		s.lastSnapDay = ev.Day
+	}
+	switch {
+	case ev.Day < s.curDay:
+		return fmt.Errorf("stream: source out of order: day %d after day %d",
+			ev.Day, s.curDay)
+	case ev.Day > s.curDay:
+		if err := s.endOfDay(ev.Day); err != nil {
+			return err
+		}
+		s.curDay = ev.Day
+	}
+	if s.wal != nil && !s.replaying {
+		s.walBuf = encodeWALRecord(s.walBuf, s.run.EventsIngested, ev)
+		if err := s.wal.Append(s.walBuf); err != nil {
+			return err
+		}
+	}
+	s.ingest(ev)
+	return s.fault(PointEventIngested)
 }
 
 // ingest records one event and routes conversions to the planner.
@@ -345,12 +462,59 @@ func (s *Service) ingest(ev events.Event) {
 
 // endOfDay closes out the current day before advancing to nextDay: it fires
 // every query whose batch filled today, then advances the retention horizon
-// now that those batches' windows are settled.
+// now that those batches' windows are settled, and — on the snapshot
+// cadence — commits a checkpoint and rotates the WAL.
 func (s *Service) endOfDay(nextDay int) error {
+	if err := s.fault(PointDayEnd); err != nil {
+		return err
+	}
 	if err := s.flushDue(); err != nil {
 		return err
 	}
+	if err := s.fault(PointDayFlushed); err != nil {
+		return err
+	}
 	s.advanceRetention(nextDay)
+	if err := s.fault(PointRetentionAdvanced); err != nil {
+		return err
+	}
+	if s.wal != nil && !s.replaying && s.cfg.SnapshotEveryDays > 0 &&
+		s.curDay-s.lastSnapDay >= s.cfg.SnapshotEveryDays {
+		s.lastSnapDay = s.curDay
+		if err := s.rotateCheckpoint(); err != nil {
+			return err
+		}
+		if err := s.fault(PointSnapshotCommitted); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rotateCheckpoint commits a snapshot of the current state and starts a
+// fresh WAL. Order matters for crash safety: sync the old log (so a crash
+// mid-rotation can still replay it), commit the snapshot, then truncate —
+// a crash between the last two steps leaves snapshot + stale log, whose
+// subsumed records the replay cursor skips.
+func (s *Service) rotateCheckpoint() error {
+	if err := s.wal.Sync(); err != nil {
+		return err
+	}
+	if err := s.Checkpoint(s.cfg.CheckpointDir); err != nil {
+		return err
+	}
+	if err := s.wal.Close(); err != nil {
+		return err
+	}
+	s.wal = nil
+	if err := checkpoint.ResetWAL(s.cfg.CheckpointDir); err != nil {
+		return err
+	}
+	wal, err := checkpoint.OpenWAL(s.cfg.CheckpointDir)
+	if err != nil {
+		return err
+	}
+	s.wal = wal
 	return nil
 }
 

@@ -64,6 +64,9 @@ func ExecuteSource(cfg Config, src dataset.Source) (*Run, error) {
 		Seed:                 cfg.Seed,
 		Parallelism:          cfg.Parallelism,
 		MaxQueriesPerProduct: cfg.MaxQueriesPerProduct,
+		CheckpointDir:        cfg.CheckpointDir,
+		SnapshotEveryDays:    cfg.SnapshotEveryDays,
+		FaultHook:            cfg.FaultHook,
 	}
 	switch cfg.System {
 	case IPALike:
@@ -75,7 +78,15 @@ func ExecuteSource(cfg Config, src dataset.Source) (*Run, error) {
 		}
 		// CookieMonster is the service's default policy.
 	}
-	svc, err := stream.New(scfg)
+	var svc *stream.Service
+	var err error
+	if cfg.Resume {
+		// Recovery: restore the checkpoint directory's durable state, then
+		// continue from the source as if never interrupted.
+		svc, err = stream.ResumeFrom(scfg, cfg.CheckpointDir)
+	} else {
+		svc, err = stream.New(scfg)
+	}
 	if err != nil {
 		return nil, err
 	}

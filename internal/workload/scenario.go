@@ -17,6 +17,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/events"
 	"repro/internal/privacy"
+	"repro/internal/stream"
 )
 
 // System selects the budgeting system under test.
@@ -91,6 +92,22 @@ type Config struct {
 	// ablation experiments use the partial policies of core's ablation
 	// ladder). Ignored for IPA-like. When nil, System picks the policy.
 	PolicyOverride core.LossPolicy
+
+	// CheckpointDir enables the streaming service's crash safety: a
+	// write-ahead log of ingested events plus periodic snapshots in this
+	// directory (DESIGN.md §8). Streaming mode only; ignored by the batch
+	// engine, which is not a long-running service.
+	CheckpointDir string
+	// SnapshotEveryDays sets the snapshot cadence inside CheckpointDir
+	// (0 = WAL only, with snapshots at run start/end).
+	SnapshotEveryDays int
+	// Resume restarts a crashed streaming run from CheckpointDir's durable
+	// state instead of starting fresh. The resumed run's results are
+	// bit-identical to an uninterrupted run of the same configuration.
+	Resume bool
+	// FaultHook is the streaming service's crash-injection seam (test
+	// instrumentation; see stream.FaultPoint). Nil in production.
+	FaultHook stream.FaultHook
 }
 
 // withDefaults fills zero values.
@@ -125,6 +142,10 @@ func (c Config) validate() error {
 		return fmt.Errorf("workload: negative fixed epsilon")
 	case c.Parallelism < 0:
 		return fmt.Errorf("workload: negative parallelism")
+	case c.SnapshotEveryDays < 0:
+		return fmt.Errorf("workload: negative snapshot cadence")
+	case (c.Resume || c.SnapshotEveryDays > 0) && c.CheckpointDir == "":
+		return fmt.Errorf("workload: resume/snapshot cadence without a checkpoint directory")
 	}
 	return nil
 }
