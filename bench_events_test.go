@@ -1,0 +1,286 @@
+package repro
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/events"
+)
+
+// Event-store micro-benchmarks (run with `-bench=Hot`): the columnar arena
+// layout and compiled selector scan against the pre-columnar map-of-slices
+// layout, which lives on below as mapEventStore — a verbatim copy of the old
+// store kept as the benchmark baseline. Results land in BENCH_events.json
+// (see bench_hotpath_test.go's emitter); the acceptance bar for the columnar
+// path is ≥2× lower ns/op at 0 allocs/op on the window scan.
+
+// mapEventStore is the old storage layout: map[device] → map[epoch] →
+// []Event, with the dense per-device index compiled at freeze. Selection
+// goes through the Selector interface and the allocating events.Select —
+// exactly the pre-refactor read path of core.RelevantWindow.
+type mapEventStore struct {
+	devices map[events.DeviceID]*mapDeviceStore
+}
+
+type mapDeviceStore struct {
+	epochs  map[events.Epoch][]events.Event
+	first   events.Epoch
+	byEpoch [][]events.Event
+}
+
+func newMapEventStore() *mapEventStore {
+	return &mapEventStore{devices: make(map[events.DeviceID]*mapDeviceStore)}
+}
+
+func (db *mapEventStore) record(epoch events.Epoch, ev events.Event) {
+	ds := db.devices[ev.Device]
+	if ds == nil {
+		ds = &mapDeviceStore{epochs: make(map[events.Epoch][]events.Event)}
+		db.devices[ev.Device] = ds
+	}
+	evs := ds.epochs[epoch]
+	evs = append(evs, ev)
+	// The old linear bubble insertion.
+	for i := len(evs) - 1; i > 0 && evs[i].Before(evs[i-1]); i-- {
+		evs[i], evs[i-1] = evs[i-1], evs[i]
+	}
+	ds.epochs[epoch] = evs
+}
+
+func (db *mapEventStore) freeze() {
+	for _, ds := range db.devices {
+		first, last, started := events.Epoch(0), events.Epoch(0), false
+		for e := range ds.epochs {
+			if !started || e < first {
+				first = e
+			}
+			if !started || e > last {
+				last = e
+			}
+			started = true
+		}
+		if !started {
+			ds.byEpoch = [][]events.Event{}
+			continue
+		}
+		ds.first = first
+		ds.byEpoch = make([][]events.Event, int(last-first)+1)
+		for e, evs := range ds.epochs {
+			ds.byEpoch[e-first] = evs
+		}
+	}
+}
+
+func (db *mapEventStore) windowEventsInto(buf [][]events.Event, d events.DeviceID,
+	first, last events.Epoch) [][]events.Event {
+	k := int(last-first) + 1
+	var out [][]events.Event
+	if cap(buf) < k {
+		out = make([][]events.Event, k)
+	} else {
+		out = buf[:k]
+		for i := range out {
+			out[i] = nil
+		}
+	}
+	ds := db.devices[d]
+	if ds == nil {
+		return out
+	}
+	for e := first; e <= last; e++ {
+		if i := int(e - ds.first); i >= 0 && i < len(ds.byEpoch) {
+			out[e-first] = ds.byEpoch[i]
+		}
+	}
+	return out
+}
+
+// scanFixtureEvents generates the shared benchmark trace: nDevices devices
+// over 20 epochs, eventsPerRecord impressions per (device, epoch) spread
+// across 10 campaigns of one advertiser, plus a conversion per device-epoch.
+// The selector under test (campaign product-3 within a day window) matches
+// ~10% of events, so scans exercise the partial-selection gather path.
+func scanFixtureEvents(nDevices, eventsPerRecord int) []events.Event {
+	const epochDays = 7
+	rng := rand.New(rand.NewSource(42))
+	var evs []events.Event
+	id := events.EventID(0)
+	for dev := 1; dev <= nDevices; dev++ {
+		for e := 0; e < 20; e++ {
+			for i := 0; i < eventsPerRecord; i++ {
+				id++
+				evs = append(evs, events.Event{
+					ID:         id,
+					Kind:       events.KindImpression,
+					Device:     events.DeviceID(dev),
+					Day:        e*epochDays + rng.Intn(epochDays),
+					Publisher:  "pub.example",
+					Advertiser: "nike.example",
+					Campaign:   "product-" + string(rune('0'+rng.Intn(10))),
+				})
+			}
+			id++
+			evs = append(evs, events.Event{
+				ID:         id,
+				Kind:       events.KindConversion,
+				Device:     events.DeviceID(dev),
+				Day:        e*epochDays + rng.Intn(epochDays),
+				Advertiser: "nike.example",
+				Product:    "product-3",
+				Value:      5,
+			})
+		}
+	}
+	return evs
+}
+
+func scanSelector() events.Selector {
+	return events.WindowSelector{
+		Inner:    events.ProductSelector{Advertiser: "nike.example", Product: "product-3"},
+		FirstDay: 0,
+		LastDay:  139,
+	}
+}
+
+// BenchmarkHotWindowScan measures one report-sized relevance scan — a
+// 20-epoch window of one device, compiled selector over the frozen columnar
+// store, partial matches gathered into a reused arena. This is the storage
+// half of the report hot path; the acceptance bar is ≥2× lower ns/op and 0
+// allocs/op vs BenchmarkHotWindowScanMap.
+func BenchmarkHotWindowScan(b *testing.B) {
+	const nDevices = 64
+	db := events.NewDatabase()
+	db.RecordAll(7, scanFixtureEvents(nDevices, 8))
+	db.Freeze()
+	sel := scanSelector()
+	var views []events.EventView
+	arena := make([]events.Event, 0, 256)
+	matched := 0
+	dev := 0
+	runHot(b, func() {
+		m, ok := db.Compile(sel)
+		if !ok {
+			b.Fatal("selector did not compile")
+		}
+		dev++
+		d := events.DeviceID(dev%nDevices + 1)
+		views = db.WindowViewsInto(views, d, 0, 19)
+		arena = arena[:0]
+		for _, v := range views {
+			evs := v.Events()
+			for i, n := 0, v.Len(); i < n; i++ {
+				if m.Match(v, i) {
+					arena = append(arena, evs[i])
+				}
+			}
+		}
+		matched += len(arena)
+	})
+	if matched == 0 {
+		b.Fatal("scan never matched")
+	}
+}
+
+// BenchmarkHotWindowScanMap is the same scan on the old layout: dense-index
+// window lookup, then the Selector interface per event with the allocating
+// Select copy per epoch — the pre-refactor cost of core.RelevantWindow's
+// selection step.
+func BenchmarkHotWindowScanMap(b *testing.B) {
+	const nDevices = 64
+	db := newMapEventStore()
+	for _, ev := range scanFixtureEvents(nDevices, 8) {
+		db.record(events.EpochOfDay(ev.Day, 7), ev)
+	}
+	db.freeze()
+	sel := scanSelector()
+	var win [][]events.Event
+	matched := 0
+	dev := 0
+	runHot(b, func() {
+		dev++
+		d := events.DeviceID(dev%nDevices + 1)
+		win = db.windowEventsInto(win, d, 0, 19)
+		for _, evs := range win {
+			matched += len(events.Select(evs, sel))
+		}
+	})
+	if matched == 0 {
+		b.Fatal("scan never matched")
+	}
+}
+
+// BenchmarkHotIngestSeal measures the full load-and-seal cycle on the
+// columnar store: bulk-record a day-ordered 8-device-epoch trace, then
+// Freeze into the arena layout. Cost is dominated by segment appends plus
+// the one-shot columnar compile.
+func BenchmarkHotIngestSeal(b *testing.B) {
+	evs := scanFixtureEvents(32, 8)
+	runHot(b, func() {
+		db := events.NewDatabase()
+		db.RecordAll(7, evs)
+		db.Freeze()
+		if db.NumEvents() != len(evs) {
+			b.Fatal("lost events")
+		}
+	})
+}
+
+// BenchmarkHotIngestSealFrozen is the one-shot batch seal (events.NewFrozen,
+// the Dataset.Build path): permutation sort plus a single gather straight
+// into the columnar arena, no intermediate mutable store.
+func BenchmarkHotIngestSealFrozen(b *testing.B) {
+	evs := scanFixtureEvents(32, 8)
+	runHot(b, func() {
+		db := events.NewFrozen(7, evs)
+		if db.NumEvents() != len(evs) {
+			b.Fatal("lost events")
+		}
+	})
+}
+
+// BenchmarkHotIngestSealMap is the old layout's load-and-seal: per-event
+// bubble insertion into the map of maps, then the dense-index build.
+func BenchmarkHotIngestSealMap(b *testing.B) {
+	evs := scanFixtureEvents(32, 8)
+	runHot(b, func() {
+		db := newMapEventStore()
+		for _, ev := range evs {
+			db.record(events.EpochOfDay(ev.Day, 7), ev)
+		}
+		db.freeze()
+	})
+}
+
+// shuffledBatch is a deliberately out-of-order ingest batch concentrated on
+// few records, the worst case for per-event insertion.
+func shuffledBatch() []events.Event {
+	evs := scanFixtureEvents(2, 64)
+	rng := rand.New(rand.NewSource(7))
+	rng.Shuffle(len(evs), func(i, j int) { evs[i], evs[j] = evs[j], evs[i] })
+	return evs
+}
+
+// BenchmarkHotRecordShuffled is the out-of-order ingest regression
+// benchmark: Record with binary-search insertion over a fully shuffled
+// batch (O(n log n) compares per record).
+func BenchmarkHotRecordShuffled(b *testing.B) {
+	evs := shuffledBatch()
+	runHot(b, func() {
+		db := events.NewDatabase()
+		for _, ev := range evs {
+			db.Record(events.EpochOfDay(ev.Day, 7), ev)
+		}
+	})
+}
+
+// BenchmarkHotRecordShuffledMap is the same shuffled batch through the old
+// linear bubble (O(n²) compares and whole-struct swaps per record).
+func BenchmarkHotRecordShuffledMap(b *testing.B) {
+	evs := shuffledBatch()
+	runHot(b, func() {
+		db := newMapEventStore()
+		for _, ev := range evs {
+			db.record(events.EpochOfDay(ev.Day, 7), ev)
+		}
+	})
+}

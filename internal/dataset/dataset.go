@@ -60,16 +60,12 @@ type Dataset struct {
 }
 
 // Build partitions the dataset's events into a device-epoch database for the
-// given epoch length in days. The database comes back frozen: its dense
-// per-(device, epoch) index is compiled and the read path is safe for the
-// workload engine's concurrent report generation.
+// given epoch length in days. The database is compiled frozen in one shot
+// (events.NewFrozen): events land directly in the columnar arena with no
+// intermediate mutable store, and the read path is safe for the workload
+// engine's concurrent report generation.
 func (d *Dataset) Build(epochDays int) *events.Database {
-	db := events.NewDatabase()
-	for _, ev := range d.Events {
-		db.Record(events.EpochOfDay(ev.Day, epochDays), ev)
-	}
-	db.Freeze()
-	return db
+	return events.NewFrozen(epochDays, d.Events)
 }
 
 // Epochs returns the number of epochs the trace spans at the given epoch

@@ -6,16 +6,21 @@ import (
 	"math"
 )
 
-// Compact binary encoding for events — the hot serialization on the
-// streaming service's durability path, where every ingested event is
-// written ahead to the WAL and every live device-epoch record is serialized
-// into each snapshot. A hand-rolled fixed layout here is ~10× cheaper than
-// reflective JSON and keeps checkpoint overhead from dominating ingest.
+// Compact binary encodings for events — the hot serialization on the
+// streaming service's durability path. Two codecs share this file:
 //
-// Layout (little-endian): ID u64, Kind u8, Device u64, Day i64,
-// four length-prefixed strings (u32 + bytes): Publisher, Advertiser,
-// Campaign, Product, then Value as IEEE-754 bits (u64) — bit-exact by
-// construction.
+//   - AppendBinary/DecodeBinary: one event, row layout — the WAL record
+//     codec, where events are logged one at a time as they are ingested.
+//     Layout (little-endian): ID u64, Kind u8, Device u64, Day i64, four
+//     length-prefixed strings (u32 + bytes): Publisher, Advertiser,
+//     Campaign, Product, then Value as IEEE-754 bits (u64) — bit-exact by
+//     construction.
+//   - MarshalEvents/UnmarshalEvents: an event list, columnar layout with a
+//     per-blob string table — the snapshot codec, where every live
+//     device-epoch record is serialized at each checkpoint.
+//
+// Hand-rolled fixed layouts here are ~10× cheaper than reflective JSON and
+// keep checkpoint overhead from dominating ingest.
 
 // AppendBinary appends ev's binary encoding to buf and returns the
 // extended slice.
@@ -67,16 +72,82 @@ func DecodeBinary(buf []byte) (Event, []byte, error) {
 	return ev, buf[8:], nil
 }
 
-// MarshalEvents encodes a slice of events with a count prefix.
+// MarshalEvents encodes a slice of events with a count prefix. The layout is
+// columnar, mirroring the frozen store: each field serialized as one
+// contiguous column (IDs, kinds, devices, days, string indices, value bits),
+// with the four string fields deduplicated through a per-blob string table.
+// Snapshot blobs hold one device-epoch record whose publishers, advertisers,
+// and campaigns repeat heavily, so the table both shrinks the snapshot and
+// replaces the per-event field interleaving with straight bulk column
+// writes. Layout (little-endian):
+//
+//	u32 n
+//	n × u64 IDs, n × u8 kinds, n × u64 devices, n × u64 days (two's compl.)
+//	string table: u32 count, count × (u32 len + bytes)
+//	4 columns of n × u32 table indices: publisher, advertiser, campaign,
+//	product
+//	n × u64 value bits (IEEE-754 — bit-exact by construction)
 func MarshalEvents(evs []Event) []byte {
 	buf := binary.LittleEndian.AppendUint32(nil, uint32(len(evs)))
+	if len(evs) == 0 {
+		return buf
+	}
 	for _, ev := range evs {
-		buf = AppendBinary(buf, ev)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(ev.ID))
+	}
+	for _, ev := range evs {
+		buf = append(buf, byte(ev.Kind))
+	}
+	for _, ev := range evs {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(ev.Device))
+	}
+	for _, ev := range evs {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(ev.Day)))
+	}
+	// String table in first-appearance order, so equal inputs yield equal
+	// bytes regardless of map iteration.
+	index := make(map[string]uint32)
+	var table []string
+	internStr := func(s string) uint32 {
+		if id, ok := index[s]; ok {
+			return id
+		}
+		id := uint32(len(table))
+		index[s] = id
+		table = append(table, s)
+		return id
+	}
+	cols := make([]uint32, 0, 4*len(evs))
+	for _, ev := range evs {
+		cols = append(cols, internStr(string(ev.Publisher)))
+	}
+	for _, ev := range evs {
+		cols = append(cols, internStr(string(ev.Advertiser)))
+	}
+	for _, ev := range evs {
+		cols = append(cols, internStr(ev.Campaign))
+	}
+	for _, ev := range evs {
+		cols = append(cols, internStr(ev.Product))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(table)))
+	for _, s := range table {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
+		buf = append(buf, s...)
+	}
+	for _, id := range cols {
+		buf = binary.LittleEndian.AppendUint32(buf, id)
+	}
+	for _, ev := range evs {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(ev.Value))
 	}
 	return buf
 }
 
-// UnmarshalEvents decodes a MarshalEvents blob.
+// UnmarshalEvents decodes a MarshalEvents blob. It never panics on truncated
+// or corrupt input. Decoded string fields share the table's backing strings,
+// so a restored record costs one string allocation per distinct value, not
+// per event.
 func UnmarshalEvents(buf []byte) ([]Event, error) {
 	if len(buf) < 4 {
 		return nil, fmt.Errorf("events: truncated event list")
@@ -84,24 +155,92 @@ func UnmarshalEvents(buf []byte) ([]Event, error) {
 	n := int(binary.LittleEndian.Uint32(buf))
 	buf = buf[4:]
 	if n == 0 {
+		if len(buf) != 0 {
+			return nil, fmt.Errorf("events: %d trailing bytes after event list", len(buf))
+		}
 		return nil, nil
 	}
-	const minEventLen = 8 + 1 + 8 + 8 + 4*4 + 8
-	if n < 0 || n > len(buf)/minEventLen+1 {
+	// Fixed columns alone need 41n bytes plus the table header; reject
+	// implausible counts before allocating.
+	const minPerEvent = 8 + 1 + 8 + 8 + 4*4
+	if n < 0 || n > len(buf)/minPerEvent+1 {
 		return nil, fmt.Errorf("events: implausible event count %d for %d bytes", n, len(buf))
 	}
-	out := make([]Event, 0, n)
-	var ev Event
+	out := make([]Event, n)
+	if len(buf) < (8+1+8+8)*n+4 {
+		return nil, fmt.Errorf("events: truncated fixed columns (%d bytes for %d events)", len(buf), n)
+	}
+	for i := range out {
+		out[i].ID = EventID(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	buf = buf[8*n:]
+	for i := range out {
+		out[i].Kind = Kind(buf[i])
+	}
+	buf = buf[n:]
+	for i := range out {
+		out[i].Device = DeviceID(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	buf = buf[8*n:]
+	for i := range out {
+		out[i].Day = int(int64(binary.LittleEndian.Uint64(buf[8*i:])))
+	}
+	buf = buf[8*n:]
+
+	tn := int(binary.LittleEndian.Uint32(buf))
+	buf = buf[4:]
+	if tn < 0 || tn > len(buf)/4+1 {
+		return nil, fmt.Errorf("events: implausible string table of %d entries", tn)
+	}
+	table := make([]string, tn)
+	for i := range table {
+		if len(buf) < 4 {
+			return nil, fmt.Errorf("events: truncated string length")
+		}
+		sl := int(binary.LittleEndian.Uint32(buf))
+		buf = buf[4:]
+		if sl < 0 || sl > len(buf) {
+			return nil, fmt.Errorf("events: string of %d bytes exceeds buffer", sl)
+		}
+		table[i] = string(buf[:sl])
+		buf = buf[sl:]
+	}
+	if len(buf) < 4*4*n+8*n {
+		return nil, fmt.Errorf("events: truncated index or value columns (%d bytes for %d events)", len(buf), n)
+	}
+	str := func(off int) (string, error) {
+		id := binary.LittleEndian.Uint32(buf[4*off:])
+		if int(id) >= tn {
+			return "", fmt.Errorf("events: string index %d outside table of %d", id, tn)
+		}
+		return table[id], nil
+	}
 	var err error
-	for i := 0; i < n; i++ {
-		ev, buf, err = DecodeBinary(buf)
-		if err != nil {
+	var s string
+	for i := range out {
+		if s, err = str(i); err != nil {
 			return nil, err
 		}
-		out = append(out, ev)
+		out[i].Publisher = Site(s)
+		if s, err = str(n + i); err != nil {
+			return nil, err
+		}
+		out[i].Advertiser = Site(s)
+		if s, err = str(2*n + i); err != nil {
+			return nil, err
+		}
+		out[i].Campaign = s
+		if s, err = str(3*n + i); err != nil {
+			return nil, err
+		}
+		out[i].Product = s
 	}
-	if len(buf) != 0 {
-		return nil, fmt.Errorf("events: %d trailing bytes after event list", len(buf))
+	buf = buf[4*4*n:]
+	for i := range out {
+		out[i].Value = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	if len(buf) != 8*n {
+		return nil, fmt.Errorf("events: %d trailing bytes after event list", len(buf)-8*n)
 	}
 	return out, nil
 }

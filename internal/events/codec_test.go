@@ -1,0 +1,123 @@
+package events
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func codecEvent(rng *rand.Rand, id EventID) Event {
+	sites := []Site{"", "nike.com", "adidas.com"}
+	strs := []string{"", "p0", "p1", "a-much-longer-campaign-name"}
+	ev := Event{
+		ID:         id,
+		Kind:       Kind(rng.Intn(3)), // including an out-of-range kind
+		Device:     DeviceID(rng.Uint64()),
+		Day:        rng.Intn(200) - 100,
+		Publisher:  sites[rng.Intn(len(sites))],
+		Advertiser: sites[rng.Intn(len(sites))],
+		Campaign:   strs[rng.Intn(len(strs))],
+		Product:    strs[rng.Intn(len(strs))],
+	}
+	switch rng.Intn(4) {
+	case 0:
+		ev.Value = math.NaN()
+	case 1:
+		ev.Value = math.Inf(-1)
+	default:
+		ev.Value = rng.NormFloat64() * 100
+	}
+	return ev
+}
+
+// eventsEqual compares bit-exactly (NaN payloads included), which
+// reflect.DeepEqual does for float64 fields only when bits match — exactly
+// the codec's contract.
+func eventsEqual(a, b []Event) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		if math.Float64bits(x.Value) != math.Float64bits(y.Value) {
+			return false
+		}
+		x.Value, y.Value = 0, 0
+		if !reflect.DeepEqual(x, y) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMarshalEventsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		evs := make([]Event, rng.Intn(20))
+		for i := range evs {
+			evs[i] = codecEvent(rng, EventID(i+1))
+		}
+		got, err := UnmarshalEvents(MarshalEvents(evs))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(evs) == 0 {
+			if got != nil {
+				t.Fatalf("trial %d: empty list decoded to %v", trial, got)
+			}
+			continue
+		}
+		if !eventsEqual(evs, got) {
+			t.Fatalf("trial %d: round trip diverged:\n in %v\nout %v", trial, evs, got)
+		}
+	}
+}
+
+func TestMarshalEventsDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	evs := make([]Event, 16)
+	for i := range evs {
+		evs[i] = codecEvent(rng, EventID(i+1))
+	}
+	a, b := MarshalEvents(evs), MarshalEvents(evs)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("MarshalEvents is not byte-deterministic for equal input")
+	}
+}
+
+// TestUnmarshalEventsRobustToTruncation feeds every prefix of a valid blob
+// (and a bit-flipped variant) to the decoder: it must return an error or a
+// valid result, never panic — the WAL/snapshot corruption contract.
+func TestUnmarshalEventsRobustToTruncation(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	evs := make([]Event, 8)
+	for i := range evs {
+		evs[i] = codecEvent(rng, EventID(i+1))
+	}
+	blob := MarshalEvents(evs)
+	for cut := 0; cut < len(blob); cut++ {
+		if _, err := UnmarshalEvents(blob[:cut]); err == nil && cut < len(blob) {
+			t.Fatalf("truncation at %d of %d decoded without error", cut, len(blob))
+		}
+	}
+	for i := 0; i < len(blob); i += 7 {
+		corrupt := append([]byte(nil), blob...)
+		corrupt[i] ^= 0x40
+		_, _ = UnmarshalEvents(corrupt) // must not panic
+	}
+}
+
+func TestRowCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		ev := codecEvent(rng, EventID(trial+1))
+		got, rest, err := DecodeBinary(AppendBinary(nil, ev))
+		if err != nil || len(rest) != 0 {
+			t.Fatalf("trial %d: err=%v rest=%d", trial, err, len(rest))
+		}
+		if !eventsEqual([]Event{ev}, []Event{got}) {
+			t.Fatalf("trial %d: row round trip diverged: %v vs %v", trial, ev, got)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package events
+
+import (
+	"testing"
+)
+
+func colTestDB(t *testing.T) *Database {
+	t.Helper()
+	db := NewDatabase()
+	db.Record(0, Event{ID: 1, Kind: KindImpression, Device: 1, Day: 1,
+		Publisher: "pub", Advertiser: "nike.com", Campaign: "p0"})
+	db.Record(0, Event{ID: 2, Kind: KindImpression, Device: 1, Day: 2,
+		Publisher: "pub", Advertiser: "nike.com", Campaign: "p1"})
+	db.Record(0, Event{ID: 3, Kind: KindImpression, Device: 1, Day: 3,
+		Publisher: "pub", Advertiser: "adidas.com", Campaign: "p0"})
+	db.Record(1, Event{ID: 4, Kind: KindConversion, Device: 1, Day: 8,
+		Advertiser: "nike.com", Product: "p0", Value: 7})
+	db.Record(1, Event{ID: 5, Kind: KindImpression, Device: 2, Day: 9,
+		Publisher: "pub", Advertiser: "nike.com", Campaign: "p0"})
+	return db
+}
+
+// matchAll collects the relevant events of a window via the compiled
+// matcher.
+func matchAll(db *Database, sel Selector, d DeviceID, first, last Epoch) []Event {
+	m, ok := db.Compile(sel)
+	if !ok {
+		panic("selector did not compile")
+	}
+	var out []Event
+	for _, v := range db.WindowViewsInto(nil, d, first, last) {
+		for i := 0; i < v.Len(); i++ {
+			if m.Match(v, i) {
+				out = append(out, v.Events()[i])
+			}
+		}
+	}
+	return out
+}
+
+func TestCompileMatchesSelectorForms(t *testing.T) {
+	for _, frozen := range []bool{false, true} {
+		db := colTestDB(t)
+		if frozen {
+			db.Freeze()
+		}
+		sels := []Selector{
+			CampaignSelector{Advertiser: "nike.com"},
+			NewCampaignSelector("nike.com", "p0"),
+			NewCampaignSelector("nike.com", "p0", "p1", "p9"),
+			NewCampaignSelector("absent.example", "p0"),
+			CampaignSelector{Advertiser: "nike.com", Campaigns: map[string]bool{"p0": false}},
+			ProductSelector{Advertiser: "nike.com", Product: "p0"},
+			ProductSelector{Advertiser: "nike.com", Product: "unseen"},
+			WindowSelector{Inner: ProductSelector{Advertiser: "nike.com", Product: "p0"}, FirstDay: 2, LastDay: 9},
+			WindowSelector{Inner: WindowSelector{
+				Inner: CampaignSelector{Advertiser: "nike.com"}, FirstDay: 0, LastDay: 5},
+				FirstDay: 2, LastDay: 9},
+			&ProductSelector{Advertiser: "nike.com", Product: "p0"},
+		}
+		for _, sel := range sels {
+			for d := DeviceID(1); d <= 3; d++ {
+				got := matchAll(db, sel, d, 0, 1)
+				var want []Event
+				for e := Epoch(0); e <= 1; e++ {
+					want = append(want, Select(db.EpochEvents(d, e), sel)...)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("frozen=%v %T device %d: matcher found %d events, Select %d",
+						frozen, sel, d, len(got), len(want))
+				}
+				for i := range got {
+					if got[i].ID != want[i].ID {
+						t.Fatalf("frozen=%v %T device %d: event %d = ID %d, want %d",
+							frozen, sel, d, i, got[i].ID, want[i].ID)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCompileRejectsOpaqueSelectors(t *testing.T) {
+	db := colTestDB(t)
+	if _, ok := db.Compile(SelectorFunc(func(Event) bool { return true })); ok {
+		t.Fatal("SelectorFunc unexpectedly compiled")
+	}
+	if _, ok := db.Compile(WindowSelector{Inner: SelectorFunc(func(Event) bool { return true })}); ok {
+		t.Fatal("WindowSelector over SelectorFunc unexpectedly compiled")
+	}
+}
+
+func TestCompileMissingSymbolsMatchesNone(t *testing.T) {
+	db := colTestDB(t)
+	m, ok := db.Compile(ProductSelector{Advertiser: "absent.example", Product: "p0"})
+	if !ok || !m.MatchesNone() {
+		t.Fatalf("absent advertiser: ok=%v none=%v, want compiled match-none", ok, m.MatchesNone())
+	}
+	m, ok = db.Compile(NewCampaignSelector("nike.com", "never-seen"))
+	if !ok || !m.MatchesNone() {
+		t.Fatalf("absent campaign: ok=%v none=%v, want compiled match-none", ok, m.MatchesNone())
+	}
+	m, ok = db.Compile(CampaignSelector{Advertiser: "nike.com"})
+	if !ok || m.MatchesNone() {
+		t.Fatalf("open campaign set: ok=%v none=%v, want compiled matchable", ok, m.MatchesNone())
+	}
+}
+
+func TestEventViewZeroCopy(t *testing.T) {
+	db := colTestDB(t)
+	db.Freeze()
+	views := db.WindowViewsInto(nil, 1, 0, 1)
+	evs := db.EpochEvents(1, 0)
+	if len(views) != 2 || views[0].Len() != len(evs) {
+		t.Fatalf("views = %v", views)
+	}
+	// Zero-copy: the view aliases the same arena memory EpochEvents serves.
+	if &views[0].Events()[0] != &evs[0] {
+		t.Fatal("EventView copied the record instead of aliasing the arena")
+	}
+}
+
+func TestWindowViewsIntoReusesBuffer(t *testing.T) {
+	db := colTestDB(t)
+	db.Freeze()
+	buf := make([]EventView, 0, 8)
+	got := db.WindowViewsInto(buf, 1, 0, 1)
+	if cap(got) != cap(buf) {
+		t.Fatal("WindowViewsInto reallocated a buffer with sufficient capacity")
+	}
+	// Stale entries must be cleared on reuse.
+	got = db.WindowViewsInto(got, 99, 0, 1)
+	for i, v := range got {
+		if v.Len() != 0 {
+			t.Fatalf("stale view survived reuse at %d", i)
+		}
+	}
+	if inv := db.WindowViewsInto(got, 1, 3, 1); len(inv) != 0 {
+		t.Fatalf("inverted window returned %d views", len(inv))
+	}
+}
+
+func TestFreezeReleasesMutableSegments(t *testing.T) {
+	db := colTestDB(t)
+	db.Freeze()
+	if db.epochs != nil {
+		t.Fatal("Freeze left the mutable epoch segments alive")
+	}
+	if db.col == nil || db.col.records != 3 {
+		t.Fatalf("columnar store records = %v", db.col)
+	}
+	if len(db.col.evs) != 5 || len(db.col.keys) != 5 {
+		t.Fatalf("arena sizes = %d events, %d keys", len(db.col.evs), len(db.col.keys))
+	}
+}
+
+func TestCompileZeroAlloc(t *testing.T) {
+	db := colTestDB(t)
+	db.Freeze()
+	sel := WindowSelector{Inner: ProductSelector{Advertiser: "nike.com", Product: "p0"}, FirstDay: 0, LastDay: 30}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, ok := db.Compile(sel); !ok {
+			t.Fatal("did not compile")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Compile of the workload selector allocates %v/op, want 0", allocs)
+	}
+}

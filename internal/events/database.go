@@ -1,6 +1,9 @@
 package events
 
-import "slices"
+import (
+	"slices"
+	"sort"
+)
 
 // DeviceEpoch is a device-epoch record x = (d, e, F): the events F logged on
 // device d during epoch e. Events are kept sorted by (Day, ID) so that
@@ -17,35 +20,53 @@ type DeviceEpoch struct {
 // on-device engine only ever reads its own device's rows, preserving the
 // paper's trust model.
 //
-// A Database has two phases. While loading, Record appends and EvictBefore
-// reclaims; no reader or writer may run concurrently with either, but
-// concurrent *read-only* phases are fine as long as they never overlap a
-// mutation — the streaming service relies on exactly this, alternating a
-// single-writer ingest phase with a fan-out read phase on its day clock.
-// Freeze ends the loading phase: it compiles a dense per-(device, epoch)
-// index so EpochEvents on the report hot path is a single bounds-checked
-// slice lookup, and from then on the database is immutable and safe for any
-// number of concurrent readers with no phase discipline at all (the batch
-// fleet engine reads it from every worker).
+// A Database has two phases. While loading, the store is segmented by epoch:
+// Record appends into the owning segment's per-device record (interning the
+// scan-key column as it goes — see columnar.go) and EvictBefore reclaims by
+// dropping whole epoch segments, O(1) per evicted epoch. No reader or writer
+// may run concurrently with either, but concurrent *read-only* phases are
+// fine as long as they never overlap a mutation — the streaming service
+// relies on exactly this, alternating a single-writer ingest phase with a
+// fan-out read phase on its day clock.
+//
+// Freeze ends the loading phase: it compiles every record into one
+// contiguous columnar arena — events, scan keys, and per-(device, epoch)
+// {off, len} spans in a handful of flat allocations — and from then on the
+// database is immutable and safe for any number of concurrent readers with
+// no phase discipline at all (the batch fleet engine reads it from every
+// worker). EpochEvents on the report hot path becomes one map lookup plus a
+// bounds-checked span index.
 type Database struct {
-	devices map[DeviceID]*deviceStore
-	nextID  EventID
-	frozen  bool
+	epochs map[Epoch]*epochSegment // loading phase; nil once frozen
+	col    *colStore               // frozen phase; nil while loading
+	intern intern
+	nextID EventID
+	frozen bool
+	// deferredKeys marks that RecordAll skipped building the mutable
+	// per-record key columns (the bulk-load path defers them to Freeze);
+	// selector compilation falls back to interface dispatch until then.
+	deferredKeys bool
 }
 
-type deviceStore struct {
-	epochs map[Epoch][]Event
+// epochSegment holds one epoch's device records — the retention unit: the
+// streaming service's horizon advance drops segments whole. Records are map
+// values (slice headers, not pointers), so a record costs no allocation of
+// its own.
+type epochSegment struct {
+	byDevice map[DeviceID]record
+}
 
-	// Dense index, built by Freeze: byEpoch[e-first] holds epoch e's
-	// events. Windows span a handful of epochs, so the dense span costs a
-	// few nil slots per device and makes the hot-path lookup branch-free.
-	first   Epoch
-	byEpoch [][]Event
+// record is one mutable device-epoch record: events in (Day, ID) order with
+// their parallel scan keys. keys is either parallel to evs or nil (deferred
+// to Freeze — see RecordAll).
+type record struct {
+	evs  []Event
+	keys []evKey
 }
 
 // NewDatabase returns an empty database.
 func NewDatabase() *Database {
-	return &Database{devices: make(map[DeviceID]*deviceStore)}
+	return &Database{epochs: make(map[Epoch]*epochSegment), intern: newIntern()}
 }
 
 // NextEventID mints a fresh unique event identifier.
@@ -55,113 +76,271 @@ func (db *Database) NextEventID() EventID {
 }
 
 // Record appends an event to the device-epoch record for (ev.Device, epoch).
-// Events within an epoch are kept in (Day, ID) order; Record preserves the
-// invariant with an insertion step that is O(1) for the common append-at-end
-// case (datasets are generated in time order).
+// Events within an epoch are kept in (Day, ID) order; the append-at-end case
+// (datasets are generated in time order) is O(1), and an out-of-order event
+// finds its slot by binary search instead of the old linear bubble — O(log n)
+// compares plus one memmove, so a fully shuffled batch costs O(n log n)
+// compares rather than O(n²).
 func (db *Database) Record(epoch Epoch, ev Event) {
 	if db.frozen {
 		panic("events: Record on frozen database")
 	}
-	ds := db.devices[ev.Device]
-	if ds == nil {
-		ds = &deviceStore{epochs: make(map[Epoch][]Event)}
-		db.devices[ev.Device] = ds
-	}
-	evs := ds.epochs[epoch]
-	evs = append(evs, ev)
-	// Restore ordering if the new event is out of order.
-	for i := len(evs) - 1; i > 0 && evs[i].Before(evs[i-1]); i-- {
-		evs[i], evs[i-1] = evs[i-1], evs[i]
-	}
-	ds.epochs[epoch] = evs
+	seg := db.segment(epoch)
+	rec := seg.byDevice[ev.Device]
+	rec.insert(ev, &db.intern)
+	seg.byDevice[ev.Device] = rec
 }
 
-// Freeze ends the loading phase: it builds the dense per-(device, epoch)
-// index behind EpochEvents and WindowEvents and marks the database
+// segment returns (creating if needed) the epoch's segment. Caller has
+// checked the phase.
+func (db *Database) segment(epoch Epoch) *epochSegment {
+	seg := db.epochs[epoch]
+	if seg == nil {
+		seg = &epochSegment{byDevice: make(map[DeviceID]record)}
+		db.epochs[epoch] = seg
+	}
+	return seg
+}
+
+// insert places ev at its (Day, ID) position, maintaining the parallel key
+// column unless this record's keys are deferred. Equal keys keep arrival
+// order, matching the old bubble's stability exactly.
+func (r *record) insert(ev Event, in *intern) {
+	n := len(r.evs)
+	keyed := r.keys != nil || n == 0
+	if n == 0 || !ev.Before(r.evs[n-1]) {
+		r.evs = append(r.evs, ev)
+		if keyed {
+			r.keys = append(r.keys, in.keyOf(ev))
+		}
+		return
+	}
+	i := sort.Search(n, func(i int) bool { return ev.Before(r.evs[i]) })
+	r.evs = slices.Insert(r.evs, i, ev)
+	if keyed {
+		r.keys = slices.Insert(r.keys, i, in.keyOf(ev))
+	}
+}
+
+// RecordAll bulk-records a batch of day-stamped events under the given epoch
+// length, into a database that stays loadable afterwards — the general bulk
+// path for callers that keep mutating or evicting after the load. (A
+// load-once-then-freeze caller wants NewFrozen instead, which skips the
+// mutable store entirely and is what Dataset.Build uses.) The batch is
+// permuted (via an index sort; the caller's slice is never reordered) into
+// (device, day, ID, arrival) order, which makes every device-epoch record a
+// contiguous run: each record is then located once and grown once to its
+// exact size, instead of paying a map lookup and an insertion search per
+// event. The resulting records are identical to a Record loop over the same
+// batch.
+//
+// RecordAll defers the per-record scan-key columns to Freeze (they would be
+// a second allocation per record); until then selector compilation falls
+// back to interface dispatch. The streaming service's per-event Record path
+// keeps its keys inline and is unaffected.
+func (db *Database) RecordAll(epochDays int, evs []Event) {
+	if db.frozen {
+		panic("events: RecordAll on frozen database")
+	}
+	if len(evs) == 0 {
+		return
+	}
+	db.deferredKeys = true
+	idx := sortByDeviceDayID(evs)
+	var lastEpoch Epoch
+	var lastSeg *epochSegment
+	for i := 0; i < len(idx); {
+		first := &evs[idx[i]]
+		epoch := EpochOfDay(first.Day, epochDays)
+		j := i + 1
+		for j < len(idx) {
+			ev := &evs[idx[j]]
+			if ev.Device != first.Device || EpochOfDay(ev.Day, epochDays) != epoch {
+				break
+			}
+			j++
+		}
+		if lastSeg == nil || epoch != lastEpoch {
+			lastSeg = db.segment(epoch)
+			lastEpoch = epoch
+		}
+		rec := lastSeg.byDevice[first.Device]
+		rec.keys = nil // deferred; Freeze rebuilds the column
+		if n := len(rec.evs); n > 0 && first.Before(rec.evs[n-1]) {
+			// The record predates this batch and the run doesn't append
+			// cleanly after it: per-event insertion (keys stay deferred).
+			for _, k := range idx[i:j] {
+				rec.insert(evs[k], &db.intern)
+			}
+		} else {
+			rec.evs = slices.Grow(rec.evs, j-i)
+			for _, k := range idx[i:j] {
+				rec.evs = append(rec.evs, evs[k])
+			}
+		}
+		lastSeg.byDevice[first.Device] = rec
+		i = j
+	}
+}
+
+// compareEvents orders by (Day, ID) — Event.Before as a three-way compare.
+func compareEvents(a, b Event) int {
+	switch {
+	case a.Before(b):
+		return -1
+	case b.Before(a):
+		return 1
+	}
+	return 0
+}
+
+// Freeze ends the loading phase: it compiles every epoch segment into the
+// columnar arena layout behind EpochEvents, WindowEvents, and the compiled
+// selector scans, releases the segment maps, and marks the database
 // immutable. After Freeze the read path is safe for concurrent use; Record
 // panics. Freezing an already-frozen database is a no-op.
 func (db *Database) Freeze() {
 	if db.frozen {
 		return
 	}
-	for _, ds := range db.devices {
-		ds.buildIndex()
-	}
+	db.col = db.compileColumns()
+	db.epochs = nil
 	db.frozen = true
 }
 
 // Frozen reports whether the database has been frozen.
 func (db *Database) Frozen() bool { return db.frozen }
 
+// compileColumns lays the mutable store out as the frozen arena: records
+// sorted by (device, epoch), events and keys concatenated (key columns a
+// bulk loader deferred are computed here), each record a span, each device
+// a dense span run. The mutable store is released as it is copied, so a
+// collection triggered mid-compile can already reclaim the moved records.
+func (db *Database) compileColumns() *colStore {
+	type recRef struct {
+		dev DeviceID
+		e   Epoch
+		rec record
+	}
+	var refs []recRef
+	total := 0
+	for e, seg := range db.epochs {
+		for d, rec := range seg.byDevice {
+			refs = append(refs, recRef{d, e, rec})
+			total += len(rec.evs)
+		}
+	}
+	db.epochs = nil // refs own the record headers now
+	slices.SortFunc(refs, func(a, b recRef) int {
+		switch {
+		case a.dev != b.dev:
+			if a.dev < b.dev {
+				return -1
+			}
+			return 1
+		case a.e < b.e:
+			return -1
+		case a.e > b.e:
+			return 1
+		}
+		return 0
+	})
+
+	col := &colStore{
+		evs:     make([]Event, 0, total),
+		keys:    make([]evKey, 0, total),
+		records: len(refs),
+	}
+	if len(refs) > 0 {
+		// Size the device map from the device count, not the record count
+		// (maps never shrink, and a long-lived fleet has many records per
+		// device). refs is device-grouped after the sort above.
+		devices := 1
+		for k := 1; k < len(refs); k++ {
+			if refs[k].dev != refs[k-1].dev {
+				devices++
+			}
+		}
+		col.dev = make(map[DeviceID]devIndex, devices)
+	}
+	i := 0
+	for i < len(refs) {
+		j := i
+		for j < len(refs) && refs[j].dev == refs[i].dev {
+			j++
+		}
+		first, last := refs[i].e, refs[j-1].e
+		di := devIndex{
+			base:  uint32(len(col.spans)),
+			count: uint32(int64(last-first) + 1),
+			first: first,
+		}
+		next := i
+		for e := first; e <= last; e++ {
+			var sp span
+			if next < j && refs[next].e == e {
+				rec := &refs[next].rec
+				sp = span{off: uint32(len(col.evs)), n: uint32(len(rec.evs))}
+				col.evs = append(col.evs, rec.evs...)
+				if rec.keys != nil {
+					col.keys = append(col.keys, rec.keys...)
+				} else {
+					for _, ev := range rec.evs {
+						col.keys = append(col.keys, db.intern.keyOf(ev))
+					}
+				}
+				rec.evs, rec.keys = nil, nil // progressive release
+				next++
+			}
+			col.spans = append(col.spans, sp)
+		}
+		col.devs = append(col.devs, refs[i].dev)
+		col.dev[refs[i].dev] = di
+		i = j
+	}
+	return col
+}
+
 // EvictBefore removes every device-epoch record with epoch < first,
-// releasing the events' memory, and drops devices left with no records. It
-// is the streaming ingestion's retention primitive: a day-ordered event
-// stream never revisits old epochs, and once no in-flight query window can
-// reach below first, those records are dead weight. Only valid during the
-// loading phase — a frozen database is immutable, and its dense index could
-// not shrink anyway — and, like Record, not safe for concurrent use.
+// releasing the events' memory. It is the streaming ingestion's retention
+// primitive: a day-ordered event stream never revisits old epochs, and once
+// no in-flight query window can reach below first, those records are dead
+// weight. The epoch-segmented layout makes this a map sweep that drops each
+// evicted epoch's whole segment at once — O(resident epochs) per call, not
+// O(devices × epochs). Only valid during the loading phase — a frozen
+// database is immutable — and, like Record, not safe for concurrent use.
 // It returns the number of device-epoch records removed.
 func (db *Database) EvictBefore(first Epoch) int {
 	if db.frozen {
 		panic("events: EvictBefore on frozen database")
 	}
 	removed := 0
-	for d, ds := range db.devices {
-		for e := range ds.epochs {
-			if e < first {
-				delete(ds.epochs, e)
-				removed++
-			}
-		}
-		if len(ds.epochs) == 0 {
-			delete(db.devices, d)
+	for e, seg := range db.epochs {
+		if e < first {
+			removed += len(seg.byDevice)
+			delete(db.epochs, e)
 		}
 	}
 	return removed
 }
 
-// buildIndex compiles the epoch map into a dense slice spanning the device's
-// populated epoch range.
-func (ds *deviceStore) buildIndex() {
-	if len(ds.epochs) == 0 {
-		ds.byEpoch = [][]Event{}
-		return
-	}
-	first, last := Epoch(0), Epoch(0)
-	started := false
-	for e := range ds.epochs {
-		if !started || e < first {
-			first = e
-		}
-		if !started || e > last {
-			last = e
-		}
-		started = true
-	}
-	ds.first = first
-	ds.byEpoch = make([][]Event, int(last-first)+1)
-	for e, evs := range ds.epochs {
-		ds.byEpoch[e-first] = evs
-	}
-}
-
 // EpochEvents returns the events of device d at epoch e (the paper's D^e_d),
 // or nil when the device-epoch is empty. The returned slice is shared;
-// callers must not modify it. On a frozen database this is a single indexed
-// slice lookup — the hottest read in report generation.
+// callers must not modify it. On a frozen database this is one map lookup
+// plus a span index into the arena — the hottest read in report generation.
 func (db *Database) EpochEvents(d DeviceID, e Epoch) []Event {
-	ds := db.devices[d]
-	if ds == nil {
+	if db.col != nil {
+		return db.col.epochEvents(d, e)
+	}
+	seg := db.epochs[e]
+	if seg == nil {
 		return nil
 	}
-	if ds.byEpoch != nil {
-		i := int(e - ds.first)
-		if i < 0 || i >= len(ds.byEpoch) {
-			return nil
-		}
-		return ds.byEpoch[i]
+	rec, ok := seg.byDevice[d]
+	if !ok {
+		return nil
 	}
-	return ds.epochs[e]
+	return rec.evs
 }
 
 // WindowEvents returns the per-epoch event sets of device d over the epoch
@@ -194,29 +373,47 @@ func (db *Database) WindowEventsInto(buf [][]Event, d DeviceID, first, last Epoc
 			out[i] = nil
 		}
 	}
-	ds := db.devices[d]
-	if ds == nil {
-		return out
-	}
-	if ds.byEpoch != nil {
+	if db.col != nil {
+		di, ok := db.col.dev[d]
+		if !ok {
+			return out
+		}
 		for e := first; e <= last; e++ {
-			if i := int(e - ds.first); i >= 0 && i < len(ds.byEpoch) {
-				out[e-first] = ds.byEpoch[i]
+			i := int64(e) - int64(di.first)
+			if i < 0 || i >= int64(di.count) {
+				continue
+			}
+			if sp := db.col.spans[int64(di.base)+i]; sp.n > 0 {
+				out[e-first] = db.col.evs[sp.off : sp.off+sp.n : sp.off+sp.n]
 			}
 		}
 		return out
 	}
 	for e := first; e <= last; e++ {
-		out[e-first] = ds.epochs[e]
+		if seg := db.epochs[e]; seg != nil {
+			if rec, ok := seg.byDevice[d]; ok {
+				out[e-first] = rec.evs
+			}
+		}
 	}
 	return out
 }
 
 // Devices returns all device IDs present in the database, in ascending
-// order (deterministic iteration for experiments).
+// order (deterministic iteration for experiments). On a frozen database
+// this is a copy of the precompiled device list.
 func (db *Database) Devices() []DeviceID {
-	out := make([]DeviceID, 0, len(db.devices))
-	for d := range db.devices {
+	if db.col != nil {
+		return slices.Clone(db.col.devs)
+	}
+	seen := make(map[DeviceID]struct{})
+	for _, seg := range db.epochs {
+		for d := range seg.byDevice {
+			seen[d] = struct{}{}
+		}
+	}
+	out := make([]DeviceID, 0, len(seen))
+	for d := range seen {
 		out = append(out, d)
 	}
 	slices.Sort(out)
@@ -225,36 +422,61 @@ func (db *Database) Devices() []DeviceID {
 
 // DeviceEpochs returns the populated epochs of a device in ascending order.
 func (db *Database) DeviceEpochs(d DeviceID) []Epoch {
-	ds := db.devices[d]
-	if ds == nil {
-		return nil
+	if db.col != nil {
+		di, ok := db.col.dev[d]
+		if !ok {
+			return nil
+		}
+		var out []Epoch
+		for i := uint32(0); i < di.count; i++ {
+			if db.col.spans[di.base+i].n > 0 {
+				out = append(out, di.first+Epoch(i))
+			}
+		}
+		return out
 	}
-	out := make([]Epoch, 0, len(ds.epochs))
-	for e := range ds.epochs {
-		out = append(out, e)
+	var out []Epoch
+	for e, seg := range db.epochs {
+		if _, ok := seg.byDevice[d]; ok {
+			out = append(out, e)
+		}
+	}
+	if out == nil {
+		return nil
 	}
 	slices.Sort(out)
 	return out
 }
 
 // NumDevices returns the number of devices with at least one event.
-func (db *Database) NumDevices() int { return len(db.devices) }
+func (db *Database) NumDevices() int {
+	if db.col != nil {
+		return len(db.col.devs)
+	}
+	return len(db.Devices())
+}
 
 // NumRecords returns the number of non-empty device-epoch records |D|.
 func (db *Database) NumRecords() int {
+	if db.col != nil {
+		return db.col.records
+	}
 	n := 0
-	for _, ds := range db.devices {
-		n += len(ds.epochs)
+	for _, seg := range db.epochs {
+		n += len(seg.byDevice)
 	}
 	return n
 }
 
 // NumEvents returns the total number of events stored.
 func (db *Database) NumEvents() int {
+	if db.col != nil {
+		return len(db.col.evs)
+	}
 	n := 0
-	for _, ds := range db.devices {
-		for _, evs := range ds.epochs {
-			n += len(evs)
+	for _, seg := range db.epochs {
+		for _, rec := range seg.byDevice {
+			n += len(rec.evs)
 		}
 	}
 	return n
@@ -262,12 +484,26 @@ func (db *Database) NumEvents() int {
 
 // ForEachConversion visits every conversion event in deterministic order
 // (by device, then epoch, then event order). Workload drivers use it to
-// replay conversions as attribution triggers.
+// replay conversions as attribution triggers. On a frozen database this is
+// a single sweep of the arena.
 func (db *Database) ForEachConversion(visit func(epoch Epoch, conv Event)) {
+	if db.col != nil {
+		for _, d := range db.col.devs {
+			di := db.col.dev[d]
+			for i := uint32(0); i < di.count; i++ {
+				sp := db.col.spans[di.base+i]
+				for _, ev := range db.col.evs[sp.off : sp.off+sp.n] {
+					if ev.IsConversion() {
+						visit(di.first+Epoch(i), ev)
+					}
+				}
+			}
+		}
+		return
+	}
 	for _, d := range db.Devices() {
-		ds := db.devices[d]
 		for _, e := range db.DeviceEpochs(d) {
-			for _, ev := range ds.epochs[e] {
+			for _, ev := range db.EpochEvents(d, e) {
 				if ev.IsConversion() {
 					visit(e, ev)
 				}
@@ -284,14 +520,6 @@ func (db *Database) Conversions() []Event {
 	db.ForEachConversion(func(_ Epoch, conv Event) {
 		out = append(out, conv)
 	})
-	slices.SortFunc(out, func(a, b Event) int {
-		switch {
-		case a.Before(b):
-			return -1
-		case b.Before(a):
-			return 1
-		}
-		return 0
-	})
+	slices.SortFunc(out, compareEvents)
 	return out
 }

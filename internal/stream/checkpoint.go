@@ -40,8 +40,10 @@ import (
 // effects of that work died with the process.
 
 // snapSchemaVersion guards the snapshot payload layout (the file framing has
-// its own version, checkpoint.FormatVersion).
-const snapSchemaVersion = 1
+// its own version, checkpoint.FormatVersion). v2: event blobs switched from
+// the row codec to the columnar events.MarshalEvents layout — a v1 snapshot
+// must be refused up front, not fed to the incompatible decoder.
+const snapSchemaVersion = 2
 
 // snapConfig is the scenario fingerprint stored in every snapshot. Resuming
 // under a different scenario would silently diverge from the original run,

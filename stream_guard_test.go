@@ -1,0 +1,101 @@
+package repro
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/stream"
+)
+
+// Peak-memory guard for the streaming service: the 10× micro-population
+// scenario (the BenchmarkStreamPeakMemory workload) must not regress its
+// peak live-heap growth by more than 20% over the committed baseline. The
+// guard is the CI streaming-smoke job's enforcement half — the benchmarks
+// report the numbers, this test fails the build when bounded-memory
+// ingestion quietly stops being bounded.
+//
+// The measurement samples live heap bytes (runtime/metrics), the in-process
+// stand-in for RSS that peakHeapDuring (bench_test.go) already uses; it is
+// single-run and inherently a bit noisy, which the 20% margin absorbs. The
+// test only runs when STREAM_PEAK_GUARD=1 (CI sets it), so ordinary local
+// `go test ./...` runs stay fast and flake-free.
+//
+// Regenerate the baseline after an intentional change with
+//
+//	STREAM_PEAK_GUARD=1 go test -run TestStreamPeakMemoryGuard -update-peak .
+
+var updatePeak = flag.Bool("update-peak", false,
+	"rewrite testdata/bench/stream_peak_baseline.json from the current run")
+
+const peakBaselinePath = "testdata/bench/stream_peak_baseline.json"
+
+type peakBaseline struct {
+	// PeakBytes is the recorded peak live-heap growth of the 10× stream
+	// run on the reference machine.
+	PeakBytes uint64 `json:"peak_bytes"`
+	// Note documents what the number is, for whoever reads the file.
+	Note string `json:"note"`
+}
+
+func TestStreamPeakMemoryGuard(t *testing.T) {
+	if os.Getenv("STREAM_PEAK_GUARD") == "" {
+		t.Skip("peak-memory guard runs only with STREAM_PEAK_GUARD=1 (set by the CI streaming smoke job)")
+	}
+	src, err := dataset.NewSynthetic(streamBenchConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := peakHeapDuring(func() {
+		svc, err := stream.New(stream.Config{
+			Source:       src,
+			EpsilonG:     5,
+			FixedEpsilon: 1,
+			Seed:         1,
+			Lean:         true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := svc.Serve(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("10x stream run peak live-heap growth: %.1f MB", float64(peak)/(1<<20))
+
+	if *updatePeak {
+		out, err := json.MarshalIndent(peakBaseline{
+			PeakBytes: peak,
+			Note:      "peak live-heap growth of the 10x micro-population streaming run (see stream_guard_test.go)",
+		}, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata/bench", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(peakBaselinePath, append(out, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s with peak %d bytes", peakBaselinePath, peak)
+		return
+	}
+
+	raw, err := os.ReadFile(peakBaselinePath)
+	if err != nil {
+		t.Fatalf("reading peak baseline (regenerate with -update-peak): %v", err)
+	}
+	var base peakBaseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		t.Fatalf("decoding peak baseline: %v", err)
+	}
+	limit := base.PeakBytes + base.PeakBytes/5 // +20%
+	if peak > limit {
+		t.Fatalf("streaming peak memory regressed: %.1f MB > %.1f MB (baseline %.1f MB + 20%%) — "+
+			"bounded-memory ingestion may have broken; if the growth is intentional, "+
+			"regenerate with -update-peak",
+			float64(peak)/(1<<20), float64(limit)/(1<<20), float64(base.PeakBytes)/(1<<20))
+	}
+}
