@@ -284,3 +284,18 @@ func BenchmarkHotRecordShuffledMap(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkHotIngestSealFrozenReuse is the day-over-day variant of the batch
+// seal: events.NewFrozenInto re-freezing into one reused FreezeScratch, the
+// steady-state cost of rebuilding a frozen store every day without paying the
+// arena allocations again.
+func BenchmarkHotIngestSealFrozenReuse(b *testing.B) {
+	evs := scanFixtureEvents(32, 8)
+	var sc events.FreezeScratch
+	runHot(b, func() {
+		db := events.NewFrozenInto(&sc, 7, evs)
+		if db.NumEvents() != len(evs) {
+			b.Fatal("lost events")
+		}
+	})
+}

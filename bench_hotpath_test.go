@@ -250,3 +250,85 @@ func BenchmarkHotMapFilterCharge(b *testing.B) {
 		e++
 	})
 }
+
+// hotMultiDevice is the cross-querier variant of the Appendix B scenario: one
+// heavily-used device carrying a fixed 4800-impression trace spread evenly
+// across q
+// advertisers, each advertiser running 10 campaigns (the scanFixtureEvents
+// shape — a query's selector matches ~10% of its advertiser's events), over a
+// 20-epoch window, plus the q per-querier attribution requests a day
+// super-batch would deliver to the device at once. Total event volume is
+// constant in q, so the ns/op series isolates how the per-visit costs (window
+// traversal, ledger locking, nonce draws) scale with the number of queriers.
+func hotMultiDevice(q int) (*core.Device, []*core.Request) {
+	var evs []events.Event
+	const epochDays = 7
+	const total = 4800
+	sites := make([]events.Site, q)
+	for i := range sites {
+		sites[i] = events.Site("adv-" + string(rune('a'+i)) + ".example")
+	}
+	for i := 0; i < total; i++ {
+		day := (i * 20 * epochDays) / total
+		evs = append(evs, events.Event{
+			ID: events.EventID(i + 1), Kind: events.KindImpression,
+			Device: 1, Day: day, Publisher: "pub.example",
+			Advertiser: sites[i%q],
+			Campaign:   "product-" + string(rune('0'+(i/q)%10)),
+		})
+	}
+	db := events.NewFrozen(epochDays, evs)
+	dev := core.NewDevice(1, db, 1e15, core.CookieMonsterPolicy{})
+	reqs := make([]*core.Request, q)
+	for i, site := range sites {
+		reqs[i] = &core.Request{
+			Querier:    site,
+			FirstEpoch: 0, LastEpoch: 19,
+			Selector:          events.ProductSelector{Advertiser: site, Product: "product-0"},
+			Function:          attribution.ScalarValue{Value: 1},
+			Epsilon:           1e-9,
+			ReportSensitivity: 1,
+			QuerySensitivity:  1,
+			PNorm:             1,
+		}
+	}
+	return dev, reqs
+}
+
+// benchHotMultiQuerier measures the batched device visit: all q requests
+// evaluated by one GenerateReportBatch call — one multi-matcher window
+// traversal, one ledger lock, one nonce block — with a reused MultiScratch.
+func benchHotMultiQuerier(b *testing.B, q int) {
+	dev, reqs := hotMultiDevice(q)
+	var ms core.MultiScratch
+	reports := make([]*core.Report, q)
+	stats := make([]core.ReportStats, q)
+	runHot(b, func() {
+		if _, err := dev.GenerateReportBatch(reqs, &ms, reports, stats); err != nil {
+			b.Fatal(err)
+		}
+	})
+}
+
+// benchHotMultiQuerierLoop is the per-querier baseline on the same scenario:
+// q independent GenerateReportScratch calls, each paying its own window scan,
+// selector compile, ledger lock, and nonce draw.
+func benchHotMultiQuerierLoop(b *testing.B, q int) {
+	dev, reqs := hotMultiDevice(q)
+	var scratch core.Scratch
+	runHot(b, func() {
+		for _, req := range reqs {
+			if _, _, err := dev.GenerateReportScratch(req, &scratch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkHotMultiQuerier1(b *testing.B)  { benchHotMultiQuerier(b, 1) }
+func BenchmarkHotMultiQuerier4(b *testing.B)  { benchHotMultiQuerier(b, 4) }
+func BenchmarkHotMultiQuerier16(b *testing.B) { benchHotMultiQuerier(b, 16) }
+
+func BenchmarkHotMultiQuerierLoop1(b *testing.B)  { benchHotMultiQuerierLoop(b, 1) }
+func BenchmarkHotMultiQuerierLoop4(b *testing.B)  { benchHotMultiQuerierLoop(b, 4) }
+func BenchmarkHotMultiQuerierLoop16(b *testing.B) { benchHotMultiQuerierLoop(b, 16) }

@@ -111,28 +111,47 @@ func (d *Device) GenerateReportScratch(req *Request, s *Scratch) (*Report, Repor
 // generate is the shared implementation of Listing 1. When diag is non-nil
 // it is additionally populated with freshly allocated (retainable)
 // diagnostics.
+//
+// The batched path (GenerateReportBatch) runs the same three phases through
+// the same helpers — lossPass between selection and charge, finish after —
+// with only the selection fan-in, the charge's lock batching, and the nonce
+// draw differing, so the two paths produce bit-identical reports and stats
+// by construction.
 func (d *Device) generate(req *Request, s *Scratch, diag *Diagnostics) (*Report, ReportStats, error) {
 	if err := req.Validate(); err != nil {
 		return nil, ReportStats{}, err
 	}
 
-	first := req.FirstEpoch
-	k := req.WindowSize()
-	s.grow(k)
+	s.grow(req.WindowSize())
 
 	// Step 1: select relevant events from every window epoch (the shared
 	// truth computation — see window.go), into the reused workspace.
 	selectWindow(d.db, d.id, req, s)
 
-	surcharge := biasSurcharge(req)
-	floor := d.EpochFloor()
+	// Step 2: per-epoch individual privacy loss.
+	d.lossPass(req, s, d.EpochFloor())
 
-	// Step 2: individual privacy loss per epoch (Thm. 4), plus the side
-	// query's κ surcharge when bias measurement is on. Epochs below the
-	// retention floor are permanently out of scope: they contribute ∅ and
-	// request no loss (their slots are gone; recharging one would refund
-	// budget).
-	for i := 0; i < k; i++ {
+	// Step 3: atomic check-and-consume for the whole window under one
+	// ledger lock; on Halt an epoch's events are dropped (replaced by ∅)
+	// and nothing is charged.
+	d.ledger.ChargeWindow(string(req.Querier), int64(req.FirstEpoch), s.losses, s.outcomes)
+
+	rep, stats := d.finish(req, s, newNonce(), diag)
+	return rep, stats, nil
+}
+
+// lossPass computes step 2 of Listing 1 over a filled selection: the
+// individual privacy loss per window epoch (Thm. 4), plus the side query's κ
+// surcharge when bias measurement is on. Epochs below the retention floor
+// are permanently out of scope: they contribute ∅ and request no loss (their
+// slots are gone; recharging one would refund budget). The floor is a
+// parameter so the batched path can snapshot it once per device — it cannot
+// move during a generate phase (retention advances only between phases), so
+// one read is equivalent to one per report.
+func (d *Device) lossPass(req *Request, s *Scratch, floor events.Epoch) {
+	first := req.FirstEpoch
+	surcharge := biasSurcharge(req)
+	for i, k := 0, req.WindowSize(); i < k; i++ {
 		if first+events.Epoch(i) < floor {
 			s.truthful[i] = nil
 			s.relevant[i] = 0
@@ -143,12 +162,14 @@ func (d *Device) generate(req *Request, s *Scratch, diag *Diagnostics) (*Report,
 		s.relevant[i] = len(rel)
 		s.losses[i] = d.policy.EpochLoss(rel, req) + surcharge
 	}
+}
 
-	// Step 3: atomic check-and-consume for the whole window under one
-	// ledger lock; on Halt an epoch's events are dropped (replaced by ∅)
-	// and nothing is charged.
-	d.ledger.ChargeWindow(string(req.Querier), int64(first), s.losses, s.outcomes)
-
+// finish folds the charge outcomes and runs step 4: attribution over
+// surviving epochs, the lazy truth pass, and report assembly around the
+// caller-minted nonce.
+func (d *Device) finish(req *Request, s *Scratch, nonce Nonce, diag *Diagnostics) (*Report, ReportStats) {
+	first := req.FirstEpoch
+	k := req.WindowSize()
 	stats := ReportStats{}
 	diverged := false
 	for i := 0; i < k; i++ {
@@ -200,7 +221,7 @@ func (d *Device) generate(req *Request, s *Scratch, diag *Diagnostics) (*Report,
 	}
 
 	rep := &Report{
-		Nonce:            newNonce(),
+		Nonce:            nonce,
 		Querier:          req.Querier,
 		Device:           d.id,
 		Histogram:        h,
@@ -226,7 +247,7 @@ func (d *Device) generate(req *Request, s *Scratch, diag *Diagnostics) (*Report,
 			}
 		}
 	}
-	return rep, stats, nil
+	return rep, stats
 }
 
 // biasFlag computes the κ-scaled side-query coordinate of Appendix F. Under

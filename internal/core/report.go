@@ -18,6 +18,15 @@ var nonceCounter atomic.Uint64
 // 128-bit value; uniqueness is the only property the protocol needs.
 func newNonce() Nonce { return Nonce(nonceCounter.Add(1)) }
 
+// newNonceBlock reserves n consecutive nonces with a single atomic add and
+// returns the first — the batched generate stage's per-device draw, one
+// counter operation for a whole device's reports instead of one per report.
+// Uniqueness and monotonicity (the NonceFloor contract) hold exactly as for
+// newNonce; nothing downstream depends on nonce values beyond that.
+func newNonceBlock(n int) Nonce {
+	return Nonce(nonceCounter.Add(uint64(n))-uint64(n)) + 1
+}
+
 // NonceFloor returns the highest nonce minted so far — the high-water mark a
 // crash-safe service records so that a restarted process never re-mints a
 // nonce the aggregation service has already consumed or retired.

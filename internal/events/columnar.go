@@ -101,6 +101,27 @@ func clampDay(d int) int32 {
 	return int32(d)
 }
 
+// FreezeScratch holds the reusable arenas of NewFrozenInto: the permutation
+// index and every frozen-store column (events, keys, spans, device list,
+// device index). A caller that freezes many event batches — rebuild-per-day
+// executors, sweep harnesses, benchmarks — reuses one scratch so each freeze
+// costs zero steady-state arena allocations instead of re-growing megabytes
+// of column storage per build.
+//
+// Lifecycle: the Database returned by NewFrozenInto aliases the scratch's
+// arenas. It is valid only until the next NewFrozenInto call with the same
+// scratch, which recycles the arenas underneath it; the caller must drop (or
+// finish with) the previous database first. A scratch serves one goroutine
+// at a time. The zero value is ready for use.
+type FreezeScratch struct {
+	idx   []int32
+	evs   []Event
+	keys  []evKey
+	spans []span
+	devs  []DeviceID
+	dev   map[DeviceID]devIndex
+}
+
 // NewFrozen builds a frozen database straight from a batch of day-stamped
 // events, skipping the mutable epoch segments entirely: one permutation
 // sort into (device, day, ID, arrival) order — epochs are monotone in days,
@@ -111,14 +132,33 @@ func clampDay(d int) int32 {
 // that Freeze would immediately copy out and discard. The result is
 // indistinguishable from Record-per-event followed by Freeze.
 func NewFrozen(epochDays int, evs []Event) *Database {
+	return NewFrozenInto(nil, epochDays, evs)
+}
+
+// NewFrozenInto is NewFrozen building into sc's reusable arenas (see
+// FreezeScratch for the aliasing lifecycle); a nil scratch allocates fresh
+// arenas, which is exactly NewFrozen. The produced database is identical to
+// NewFrozen's either way — only the backing storage provenance differs.
+func NewFrozenInto(sc *FreezeScratch, epochDays int, evs []Event) *Database {
+	if sc == nil {
+		sc = &FreezeScratch{}
+	}
 	db := NewDatabase()
 	col := &colStore{
-		evs:  make([]Event, 0, len(evs)),
-		keys: make([]evKey, 0, len(evs)),
+		evs:   growCap(sc.evs, len(evs)),
+		keys:  growCap(sc.keys, len(evs)),
+		spans: sc.spans[:0],
+		devs:  sc.devs[:0],
 	}
 	if len(evs) > 0 {
-		idx := sortByDeviceDayID(evs)
-		col.dev = make(map[DeviceID]devIndex)
+		idx := sortByDeviceDayIDInto(sc.idx, evs)
+		sc.idx = idx
+		if sc.dev == nil {
+			sc.dev = make(map[DeviceID]devIndex)
+		} else {
+			clear(sc.dev)
+		}
+		col.dev = sc.dev
 		for i := 0; i < len(idx); {
 			dev := evs[idx[i]].Device
 			di := devIndex{base: uint32(len(col.spans)), first: EpochOfDay(evs[idx[i]].Day, epochDays)}
@@ -150,7 +190,17 @@ func NewFrozen(epochDays int, evs []Event) *Database {
 	db.col = col
 	db.epochs = nil
 	db.frozen = true
+	// The grown columns return to the scratch for the next freeze.
+	sc.evs, sc.keys, sc.spans, sc.devs = col.evs, col.keys, col.spans, col.devs
 	return db
+}
+
+// growCap returns s emptied, reallocated only when its capacity is below n.
+func growCap[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, 0, n)
+	}
+	return s[:0]
 }
 
 // sortByDeviceDayID returns the permutation of evs in (device, day, ID,
@@ -159,7 +209,16 @@ func NewFrozen(epochDays int, evs []Event) *Database {
 // and the arrival-index tiebreak makes the permutation equal to a stable
 // (Day, ID) sort.
 func sortByDeviceDayID(evs []Event) []int32 {
-	idx := make([]int32, len(evs))
+	return sortByDeviceDayIDInto(nil, evs)
+}
+
+// sortByDeviceDayIDInto is sortByDeviceDayID filling a reusable index buffer.
+func sortByDeviceDayIDInto(idx []int32, evs []Event) []int32 {
+	if cap(idx) < len(evs) {
+		idx = make([]int32, len(evs))
+	} else {
+		idx = idx[:len(evs)]
+	}
 	for i := range idx {
 		idx[i] = int32(i)
 	}

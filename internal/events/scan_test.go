@@ -1,0 +1,194 @@
+package events
+
+import (
+	"math/rand"
+	"reflect"
+	"slices"
+	"testing"
+)
+
+// refLaneSelect is the executable reference for one lane of ScanWindow: the
+// single-matcher scan (a Matcher.Match loop per epoch, as core's compiled
+// selection runs it), producing freshly copied slices.
+func refLaneSelect(db *Database, d DeviceID, m *Matcher, first, last Epoch) [][]Event {
+	k := int(last-first) + 1
+	out := make([][]Event, k)
+	if m.MatchesNone() {
+		return out
+	}
+	views := db.WindowViewsInto(nil, d, first, last)
+	for i, v := range views {
+		var sel []Event
+		for j := 0; j < v.Len(); j++ {
+			if m.Match(v, j) {
+				sel = append(sel, v.Events()[j])
+			}
+		}
+		out[i] = sel
+	}
+	return out
+}
+
+// scanSites: the fourth site is never recorded, so selectors over it compile
+// to MatchesNone lanes.
+var scanSites = []Site{"nike.example", "adidas.example", "puma.example", "ghost.example"}
+var scanCamps = []string{"shoes", "hats", "socks"}
+
+func randomScanDB(rng *rand.Rand) *Database {
+	var evs []Event
+	n := rng.Intn(120)
+	for i := 0; i < n; i++ {
+		kind := KindImpression
+		if rng.Intn(5) == 0 {
+			kind = KindConversion
+		}
+		evs = append(evs, Event{
+			ID: EventID(i + 1), Kind: kind,
+			Device:     DeviceID(1 + rng.Intn(3)),
+			Day:        rng.Intn(60),
+			Advertiser: scanSites[rng.Intn(3)],
+			Campaign:   scanCamps[rng.Intn(3)],
+			Product:    scanCamps[rng.Intn(3)],
+		})
+	}
+	return NewFrozen(7, evs)
+}
+
+func randomCompiledSelector(rng *rand.Rand) Selector {
+	site := scanSites[rng.Intn(len(scanSites))]
+	switch rng.Intn(4) {
+	case 0:
+		return ProductSelector{Advertiser: site, Product: scanCamps[rng.Intn(3)]}
+	case 1:
+		return NewCampaignSelector(site)
+	case 2:
+		return NewCampaignSelector(site, scanCamps[rng.Intn(3)], scanCamps[rng.Intn(3)])
+	default:
+		return WindowSelector{
+			Inner:    ProductSelector{Advertiser: site, Product: scanCamps[rng.Intn(3)]},
+			FirstDay: rng.Intn(40),
+			LastDay:  20 + rng.Intn(50),
+		}
+	}
+}
+
+// TestScanWindowMultiMatchesSingleMatcher property-tests the multi-matcher
+// traversal against the single-matcher reference: for random lane banks
+// (random selectors, windows, devices — including absent devices and
+// MatchesNone lanes), every lane's output slices must equal its own
+// single-matcher scan element for element. Each seed scans twice with the
+// same (dirty) lane bank on different devices, so arena and span reuse is
+// exercised under maximal staleness.
+func TestScanWindowMultiMatchesSingleMatcher(t *testing.T) {
+	var ms MultiScan
+	var lanes []ScanLane
+	for seed := int64(1); seed <= 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		db := randomScanDB(rng)
+		nl := 1 + rng.Intn(8)
+		if cap(lanes) < nl {
+			lanes = slices.Grow(lanes, nl-len(lanes))
+		}
+		lanes = lanes[:nl]
+		for j := 0; j < nl; j++ {
+			m, ok := db.Compile(randomCompiledSelector(rng))
+			if !ok {
+				t.Fatalf("seed %d: built-in selector failed to compile", seed)
+			}
+			first := Epoch(rng.Intn(5))
+			last := first + Epoch(rng.Intn(8))
+			ln := &lanes[j]
+			ln.Matcher, ln.First, ln.Last = m, first, last
+			k := int(last-first) + 1
+			if cap(ln.Out) < k {
+				ln.Out = make([][]Event, k)
+			} else {
+				ln.Out = ln.Out[:k]
+			}
+		}
+		for scan := 0; scan < 2; scan++ {
+			dev := DeviceID(1 + rng.Intn(4)) // 4 is never recorded
+			ms.ScanWindow(db, dev, lanes)
+			for j := range lanes {
+				ln := &lanes[j]
+				want := refLaneSelect(db, dev, &ln.Matcher, ln.First, ln.Last)
+				for i := range want {
+					if !slices.Equal(ln.Out[i], want[i]) {
+						t.Fatalf("seed %d scan %d lane %d epoch slot %d: got %v want %v",
+							seed, scan, j, i, ln.Out[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestScanWindowMultiAliasesFullMatches pins the aliasing discipline: an
+// epoch whose events all match must alias the store's arena (no copy), and a
+// partial selection must not.
+func TestScanWindowMultiAliasesFullMatches(t *testing.T) {
+	site := Site("nike.example")
+	evs := []Event{
+		{ID: 1, Kind: KindImpression, Device: 1, Day: 0, Advertiser: site, Campaign: "shoes"},
+		{ID: 2, Kind: KindImpression, Device: 1, Day: 1, Advertiser: site, Campaign: "shoes"},
+		{ID: 3, Kind: KindImpression, Device: 1, Day: 7, Advertiser: site, Campaign: "shoes"},
+		{ID: 4, Kind: KindImpression, Device: 1, Day: 8, Advertiser: site, Campaign: "hats"},
+	}
+	db := NewFrozen(7, evs)
+	m, ok := db.Compile(ProductSelector{Advertiser: site, Product: "shoes"})
+	if !ok {
+		t.Fatal("compile failed")
+	}
+	lanes := []ScanLane{{Matcher: m, First: 0, Last: 1, Out: make([][]Event, 2)}}
+	var ms MultiScan
+	ms.ScanWindow(db, 1, lanes)
+	epoch0 := db.EpochEvents(1, 0)
+	if got := lanes[0].Out[0]; len(got) != 2 || &got[0] != &epoch0[0] {
+		t.Fatalf("full-match epoch not aliased to the store: %v", got)
+	}
+	epoch1 := db.EpochEvents(1, 1)
+	if got := lanes[0].Out[1]; len(got) != 1 || &got[0] == &epoch1[0] {
+		t.Fatalf("partial epoch should be an arena copy: %v", got)
+	}
+}
+
+// TestNewFrozenIntoMatchesNewFrozen builds successive frozen databases into
+// one shared FreezeScratch and checks each against the freshly allocated
+// NewFrozen of the same batch: devices, records, and every device-epoch's
+// events must be identical, with the scratch arenas recycled in between.
+func TestNewFrozenIntoMatchesNewFrozen(t *testing.T) {
+	var sc FreezeScratch
+	for seed := int64(1); seed <= 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var evs []Event
+		for i, n := 0, rng.Intn(200); i < n; i++ {
+			evs = append(evs, Event{
+				ID: EventID(i + 1), Kind: KindImpression,
+				Device:     DeviceID(rng.Intn(6)),
+				Day:        rng.Intn(40),
+				Advertiser: scanSites[rng.Intn(3)],
+				Campaign:   scanCamps[rng.Intn(3)],
+			})
+		}
+		rng.Shuffle(len(evs), func(i, j int) { evs[i], evs[j] = evs[j], evs[i] })
+		want := NewFrozen(7, evs)
+		got := NewFrozenInto(&sc, 7, evs)
+		if got.NumEvents() != want.NumEvents() || got.NumRecords() != want.NumRecords() ||
+			got.NumDevices() != want.NumDevices() {
+			t.Fatalf("seed %d: shape mismatch", seed)
+		}
+		if !reflect.DeepEqual(got.Devices(), want.Devices()) {
+			t.Fatalf("seed %d: device lists differ", seed)
+		}
+		for _, d := range want.Devices() {
+			if !reflect.DeepEqual(got.DeviceEpochs(d), want.DeviceEpochs(d)) {
+				t.Fatalf("seed %d: device %d epochs differ", seed, d)
+			}
+			for _, e := range want.DeviceEpochs(d) {
+				if !slices.Equal(got.EpochEvents(d, e), want.EpochEvents(d, e)) {
+					t.Fatalf("seed %d: device %d epoch %d events differ", seed, d, e)
+				}
+			}
+		}
+	}
+}

@@ -149,19 +149,10 @@ func (l *Ledger) capAt(q string, e int64) float64 {
 	return l.capacity
 }
 
-// chargeLocked is the single check-and-consume path. Caller holds l.mu.
-func (l *Ledger) chargeLocked(q string, e int64, eps float64) ChargeOutcome {
-	if eps < 0 {
-		// Privacy loss is never negative; accepting one would refund budget.
-		panic("privacy: negative privacy loss")
-	}
-	if eps == 0 {
-		return ChargeZero
-	}
-	if e < l.floor {
-		return ChargeEvicted
-	}
-	c := l.lane(q).slot(e)
+// chargeSlotLocked is the slot-level check-and-consume on an already-resolved
+// lane. Caller holds l.mu.
+func (l *Ledger) chargeSlotLocked(ln *ledgerLane, q string, e int64, eps float64) ChargeOutcome {
+	c := ln.slot(e)
 	if *c == untouchedSlot {
 		*c = 0
 	}
@@ -175,6 +166,44 @@ func (l *Ledger) chargeLocked(q string, e int64, eps float64) ChargeOutcome {
 		*c = limit
 	}
 	return ChargeOK
+}
+
+// chargeLocked is the single check-and-consume path. Caller holds l.mu.
+func (l *Ledger) chargeLocked(q string, e int64, eps float64) ChargeOutcome {
+	if eps < 0 {
+		// Privacy loss is never negative; accepting one would refund budget.
+		panic("privacy: negative privacy loss")
+	}
+	if eps == 0 {
+		return ChargeZero
+	}
+	if e < l.floor {
+		return ChargeEvicted
+	}
+	return l.chargeSlotLocked(l.lane(q), q, e, eps)
+}
+
+// chargeWindowLocked is one window's charge sequence with the lane lookup
+// hoisted out of the per-epoch loop. The lane resolves on the first epoch
+// that actually charges (eps > 0, at or above the floor), so lazy lane
+// creation is exactly as observable as per-epoch chargeLocked calls.
+func (l *Ledger) chargeWindowLocked(q string, first int64, losses []float64, outcomes []ChargeOutcome) {
+	var ln *ledgerLane
+	for i, eps := range losses {
+		switch {
+		case eps < 0:
+			panic("privacy: negative privacy loss")
+		case eps == 0:
+			outcomes[i] = ChargeZero
+		case first+int64(i) < l.floor:
+			outcomes[i] = ChargeEvicted
+		default:
+			if ln == nil {
+				ln = l.lane(q)
+			}
+			outcomes[i] = l.chargeSlotLocked(ln, q, first+int64(i), eps)
+		}
+	}
 }
 
 // Charge atomically checks whether eps more privacy loss fits into querier
@@ -195,8 +224,36 @@ func (l *Ledger) ChargeWindow(q string, first int64, losses []float64, outcomes 
 	_ = outcomes[:len(losses)]
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	for i, eps := range losses {
-		outcomes[i] = l.chargeLocked(q, first+int64(i), eps)
+	l.chargeWindowLocked(q, first, losses, outcomes)
+}
+
+// WindowCharge is one report's whole-window check-and-consume in a batched
+// charge: Losses[i] is the loss requested from epoch First+i by Querier, and
+// Outcomes[i] receives the per-epoch result. Losses and Outcomes are caller
+// buffers; ChargeWindowBatch only reads Losses and writes Outcomes.
+type WindowCharge struct {
+	Querier  string
+	First    int64
+	Losses   []float64
+	Outcomes []ChargeOutcome
+}
+
+// ChargeWindowBatch runs several reports' check-and-consume sequences under
+// a single lock acquisition: charges execute in slice order, each window's
+// epochs in ascending order — the exact sequence len(charges) individual
+// ChargeWindow calls would produce, so outcomes are bit-identical to the
+// one-at-a-time path by construction. This is the generate stage's
+// per-device vectorized charge: a device visited by Q same-day queriers
+// takes one ledger lock instead of Q.
+// It panics if any charge's Outcomes is shorter than its Losses.
+func (l *Ledger) ChargeWindowBatch(charges []WindowCharge) {
+	for i := range charges {
+		_ = charges[i].Outcomes[:len(charges[i].Losses)]
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, ch := range charges {
+		l.chargeWindowLocked(ch.Querier, ch.First, ch.Losses, ch.Outcomes)
 	}
 }
 

@@ -341,3 +341,65 @@ func TestLedgerConcurrentRace(t *testing.T) {
 		}
 	}
 }
+
+// TestChargeWindowBatchMatchesSequential holds the single-lock batched charge
+// to the sequential reference: for random charge tables (several queriers,
+// overlapping windows, zero and over-budget losses, interleaved floor
+// advances) one ChargeWindowBatch call must produce the outcomes and final
+// ledger rows of ChargeWindow applied charge by charge in slice order.
+func TestChargeWindowBatchMatchesSequential(t *testing.T) {
+	queriers := []string{"nike.com", "adidas.com", "puma.com"}
+	for seed := int64(1); seed <= 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		cap := []float64{0, 0.01, 0.05, 1}[rng.Intn(4)]
+		batched, seq := NewLedger(cap), NewLedger(cap)
+
+		for round := 0; round < 5; round++ {
+			if rng.Intn(3) == 0 {
+				floor := int64(rng.Intn(6))
+				batched.AdvanceFloor(floor)
+				seq.AdvanceFloor(floor)
+			}
+			n := 1 + rng.Intn(6)
+			charges := make([]WindowCharge, n)
+			wantOut := make([][]ChargeOutcome, n)
+			for j := range charges {
+				w := 1 + rng.Intn(5)
+				losses := make([]float64, w)
+				for i := range losses {
+					losses[i] = []float64{0, 0.004, 0.02, 2}[rng.Intn(4)]
+				}
+				charges[j] = WindowCharge{
+					Querier:  queriers[rng.Intn(3)],
+					First:    int64(rng.Intn(6)),
+					Losses:   losses,
+					Outcomes: make([]ChargeOutcome, w),
+				}
+				wantOut[j] = make([]ChargeOutcome, w)
+			}
+
+			batched.ChargeWindowBatch(charges)
+			for j, ch := range charges {
+				seq.ChargeWindow(ch.Querier, ch.First, ch.Losses, wantOut[j])
+			}
+
+			for j := range charges {
+				for i := range wantOut[j] {
+					if charges[j].Outcomes[i] != wantOut[j][i] {
+						t.Fatalf("seed %d round %d charge %d epoch %d: %v want %v",
+							seed, round, j, i, charges[j].Outcomes[i], wantOut[j][i])
+					}
+				}
+			}
+		}
+		br, sr := batched.Rows(), seq.Rows()
+		if len(br) != len(sr) {
+			t.Fatalf("seed %d: %d rows vs %d", seed, len(br), len(sr))
+		}
+		for i := range br {
+			if br[i] != sr[i] {
+				t.Fatalf("seed %d row %d: %+v vs %+v", seed, i, br[i], sr[i])
+			}
+		}
+	}
+}

@@ -53,7 +53,10 @@ func (s *Service) flushDue() error {
 
 	// Stage 2: generate — the day's queries multiplexed as one
 	// device-partitioned super-batch (see generateDay).
-	outputs := s.generateDay(due)
+	outputs, err := s.generateDay(due)
+	if err != nil {
+		return err
+	}
 
 	// Stage 3: aggregate sequentially in canonical order, folding each
 	// query's per-conversion outputs in conversion order so sums and
@@ -140,33 +143,46 @@ func (s *Service) markRequested(dev events.DeviceID, q events.Site, first, last 
 // sequentially in exactly the batch engine's order, while distinct devices
 // from any number of queriers run concurrently. Central runs compute true
 // report values instead — side-effect-free reads needing no grouping.
-// Outputs land slotted by concatenated conversion index.
-func (s *Service) generateDay(due []*pendingQuery) []convOutput {
+// Outputs land slotted by concatenated conversion index, in day buffers the
+// service reuses across days (consumed synchronously by flushDue's
+// aggregation loop, so reuse is safe); together with the Generator's own
+// reuse, a steady-state day flush allocates only the reports it returns.
+func (s *Service) generateDay(due []*pendingQuery) ([]convOutput, error) {
 	total := 0
 	for _, q := range due {
 		total += len(q.batch)
 	}
-	convs := make([]events.Event, 0, total)
-	reqs := make([]*core.Request, 0, total)
+	convs := s.dayConvs[:0]
+	reqs := s.dayReqs[:0]
 	for _, q := range due {
 		convs = append(convs, q.batch...)
 		reqs = append(reqs, q.reqs...)
 	}
-	out := make([]convOutput, total)
+	s.dayConvs, s.dayReqs = convs, reqs
+	if cap(s.dayOut) < total {
+		s.dayOut = make([]convOutput, total)
+	} else {
+		s.dayOut = s.dayOut[:total]
+		clear(s.dayOut)
+	}
+	out := s.dayOut
 
 	if s.cfg.Central {
 		truths := TrueValues(s.db, reqs, convs, s.cfg.Parallelism)
 		for i := range out {
 			out[i].truth = truths[i]
 		}
-		return out
+		return out, nil
 	}
 
-	reports, stats := GenerateReports(s.fleet, reqs, convs, s.cfg.Parallelism)
+	reports, stats, err := s.gen.Generate(s.fleet, reqs, convs, s.cfg.Parallelism)
+	if err != nil {
+		return nil, err
+	}
 	for i := range out {
 		out[i] = convOutput{report: reports[i], stats: stats[i]}
 	}
-	return out
+	return out, nil
 }
 
 // aggregate folds one query's per-conversion outputs in conversion order and

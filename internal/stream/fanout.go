@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -79,53 +80,167 @@ func scratchPerWorker(n, workers int) []core.Scratch {
 	return make([]core.Scratch, workers)
 }
 
-// GroupByDevice partitions batch indices by device, groups ordered by first
+// Grouper is the reusable grouping scratch behind GroupByDevice: the
+// device-order map and the group slices persist across batches, so the
+// steady-state per-day cost of grouping in the streaming executor is zero
+// allocations (the map is cleared, the inner slices truncated in place).
+// One Grouper serves one goroutine at a time; the zero value is ready.
+type Grouper struct {
+	order  map[events.DeviceID]int
+	groups [][]int
+}
+
+// Group partitions batch indices by device, groups ordered by first
 // appearance and each group preserving batch order — the unit of parallel
 // work that keeps same-device budget operations sequential. When the batch
 // concatenates several queries' conversions in canonical query order, the
 // groups serialize a device's operations across all of them, which is what
 // lets the streaming service multiplex queriers concurrently and still match
-// the batch engine bit for bit.
-func GroupByDevice(batch []events.Event) [][]int {
-	order := make(map[events.DeviceID]int, len(batch))
-	var groups [][]int
-	for i, conv := range batch {
-		g, ok := order[conv.Device]
-		if !ok {
-			g = len(groups)
-			order[conv.Device] = g
-			groups = append(groups, nil)
-		}
-		groups[g] = append(groups[g], i)
+// the batch engine bit for bit. The returned groups alias the Grouper's
+// scratch and are valid until the next Group call.
+func (g *Grouper) Group(batch []events.Event) [][]int {
+	if g.order == nil {
+		g.order = make(map[events.DeviceID]int, len(batch))
+	} else {
+		clear(g.order)
 	}
-	return groups
+	used := 0
+	for i, conv := range batch {
+		gi, ok := g.order[conv.Device]
+		if !ok {
+			gi = used
+			g.order[conv.Device] = gi
+			if used < len(g.groups) {
+				g.groups[used] = g.groups[used][:0]
+			} else {
+				g.groups = append(g.groups, nil)
+			}
+			used++
+		}
+		g.groups[gi] = append(g.groups[gi], i)
+	}
+	return g.groups[:used]
 }
 
-// GenerateReports runs the on-device generate stage for one batch of
-// conversions: device-grouped GenerateReportScratch calls fanned out across
-// workers, reports and fold-ready stats slotted by conversion index. Each
-// worker reuses one core.Scratch for its whole share of the batch, so the
-// per-conversion hot path allocates only the report it returns. This is the
-// single copy of the determinism-critical loop both engines execute — the
-// batch engine per query batch, the streaming service per day super-batch.
-func GenerateReports(fleet *core.Fleet, reqs []*core.Request, batch []events.Event,
-	workers int) (reports []*core.Report, stats []core.ReportStats) {
-	reports = make([]*core.Report, len(batch))
-	stats = make([]core.ReportStats, len(batch))
-	groups := GroupByDevice(batch)
-	scratch := scratchPerWorker(len(groups), workers)
-	FanOutWorkers(len(groups), workers, func(w, g int) {
-		s := &scratch[w]
-		for _, i := range groups[g] {
-			dev := fleet.GetOrCreate(batch[i].Device)
-			rep, st, err := dev.GenerateReportScratch(reqs[i], s)
-			if err != nil {
-				panic("stream: internal request invalid: " + err.Error())
+// GroupByDevice is Group over a one-shot Grouper, for callers without a
+// batch loop worth amortizing.
+func GroupByDevice(batch []events.Event) [][]int {
+	var g Grouper
+	return g.Group(batch)
+}
+
+// Generator runs the on-device generate stage with state that persists
+// across batches: the grouping scratch, one core.MultiScratch per worker,
+// and the output slices. The streaming service holds one per run (a day
+// super-batch per call), the batch engine one per workload. A Generator
+// serves one batch at a time; the zero value is ready.
+type Generator struct {
+	grouper Grouper
+	workers []genWorker
+	reports []*core.Report
+	stats   []core.ReportStats
+}
+
+// genWorker is one worker's private state: the batched-generation workspace,
+// the per-group gather buffers, and the worker's first observed error.
+type genWorker struct {
+	ms    core.MultiScratch
+	reqs  []*core.Request
+	reps  []*core.Report
+	stats []core.ReportStats
+	// errConv is the smallest conversion index whose request this worker
+	// found invalid (-1 when none); err is that conversion's error.
+	errConv int
+	err     error
+}
+
+// Generate runs the on-device generate stage for one batch of conversions:
+// requests grouped by device, each device visited once per batch with all of
+// its requests evaluated in a single pass (core.Device.GenerateReportBatch —
+// one window traversal feeding every compiled matcher lane, one ledger lock
+// for every querier's charge, one nonce draw per device). Reports and
+// fold-ready stats land slotted by conversion index; the returned slices are
+// reused by the next Generate call, so callers must copy out (the *Report
+// pointers themselves are the caller's to retain). This is the single copy
+// of the determinism-critical loop both engines execute — the batch engine
+// per query batch, the streaming service per day super-batch.
+//
+// A malformed request surfaces as an error after the fan-out barrier — the
+// offending device visit charges nothing and every other device's work
+// completes normally — and the reported error is deterministically the one
+// with the smallest conversion index, regardless of worker schedule.
+func (g *Generator) Generate(fleet *core.Fleet, reqs []*core.Request, batch []events.Event,
+	workers int) ([]*core.Report, []core.ReportStats, error) {
+	n := len(batch)
+	if cap(g.reports) < n {
+		g.reports = make([]*core.Report, n)
+		g.stats = make([]core.ReportStats, n)
+	} else {
+		g.reports = g.reports[:n]
+		g.stats = g.stats[:n]
+		clear(g.reports)
+		clear(g.stats)
+	}
+	groups := g.grouper.Group(batch)
+	nw := min(workers, len(groups))
+	if nw < 1 {
+		nw = 1
+	}
+	if cap(g.workers) < nw {
+		ws := make([]genWorker, nw)
+		copy(ws, g.workers[:cap(g.workers)])
+		g.workers = ws
+	} else {
+		g.workers = g.workers[:nw]
+	}
+	for w := range g.workers {
+		g.workers[w].errConv = -1
+		g.workers[w].err = nil
+	}
+	FanOutWorkers(len(groups), workers, func(w, gi int) {
+		ws := &g.workers[w]
+		group := groups[gi]
+		ws.reqs = ws.reqs[:0]
+		for _, i := range group {
+			ws.reqs = append(ws.reqs, reqs[i])
+		}
+		if cap(ws.reps) < len(group) {
+			ws.reps = make([]*core.Report, len(group))
+			ws.stats = make([]core.ReportStats, len(group))
+		} else {
+			ws.reps = ws.reps[:len(group)]
+			ws.stats = ws.stats[:len(group)]
+		}
+		dev := fleet.GetOrCreate(batch[group[0]].Device)
+		lane, err := dev.GenerateReportBatch(ws.reqs, &ws.ms, ws.reps, ws.stats)
+		if err != nil {
+			if conv := group[lane]; ws.errConv < 0 || conv < ws.errConv {
+				ws.errConv, ws.err = conv, err
 			}
-			reports[i], stats[i] = rep, st
+			return
+		}
+		for j, i := range group {
+			g.reports[i], g.stats[i] = ws.reps[j], ws.stats[j]
 		}
 	})
-	return reports, stats
+	firstConv, firstErr := -1, error(nil)
+	for w := range g.workers {
+		if ws := &g.workers[w]; ws.err != nil && (firstConv < 0 || ws.errConv < firstConv) {
+			firstConv, firstErr = ws.errConv, ws.err
+		}
+	}
+	if firstErr != nil {
+		return nil, nil, fmt.Errorf("stream: request for conversion %d invalid: %w", firstConv, firstErr)
+	}
+	return g.reports, g.stats, nil
+}
+
+// GenerateReports is Generate over a one-shot Generator: same outputs, no
+// state reuse. Kept for callers outside the two engines' batch loops.
+func GenerateReports(fleet *core.Fleet, reqs []*core.Request, batch []events.Event,
+	workers int) ([]*core.Report, []core.ReportStats, error) {
+	var g Generator
+	return g.Generate(fleet, reqs, batch, workers)
 }
 
 // TrueValues runs the centralized generate stage: every conversion's true

@@ -1,0 +1,185 @@
+package stream
+
+import (
+	"math/rand"
+	"reflect"
+	"slices"
+	"strings"
+	"testing"
+
+	"repro/internal/attribution"
+	"repro/internal/core"
+	"repro/internal/events"
+)
+
+var fanSites = []events.Site{"nike.com", "adidas.com", "puma.com"}
+
+func fanoutDB(rng *rand.Rand, devices int) *events.Database {
+	var evs []events.Event
+	for i, n := 0, 40+rng.Intn(80); i < n; i++ {
+		evs = append(evs, events.Event{
+			ID: events.EventID(i + 1), Kind: events.KindImpression,
+			Device:     events.DeviceID(1 + rng.Intn(devices)),
+			Day:        rng.Intn(42),
+			Advertiser: fanSites[rng.Intn(3)],
+			Campaign:   []string{"shoes", "hats"}[rng.Intn(2)],
+		})
+	}
+	return events.NewFrozen(7, evs)
+}
+
+func fanoutRequest(rng *rand.Rand) *core.Request {
+	site := fanSites[rng.Intn(3)]
+	req := &core.Request{
+		Querier:           site,
+		FirstEpoch:        events.Epoch(rng.Intn(3)),
+		Selector:          events.NewCampaignSelector(site, "shoes"),
+		Function:          attribution.Slots{Logic: attribution.LastTouch{}, MaxImpressions: 2, Value: 70},
+		Epsilon:           []float64{0.004, 0.01, 0.4}[rng.Intn(3)],
+		ReportSensitivity: 70,
+		QuerySensitivity:  100,
+		PNorm:             1,
+	}
+	req.LastEpoch = req.FirstEpoch + events.Epoch(rng.Intn(5))
+	return req
+}
+
+func fanoutFleet(db *events.Database, epsG float64) *core.Fleet {
+	return core.NewFleet(0, func(id events.DeviceID) *core.Device {
+		return core.NewDevice(id, db, epsG, core.CookieMonsterPolicy{})
+	})
+}
+
+// TestGeneratorMatchesSequential holds the parallel, batched-per-device
+// generate stage to the sequential one-at-a-time reference: for random
+// super-batches (several queriers' conversions concatenated, devices shared
+// across them) the Generator at parallelism 4 must produce the reports, stats,
+// and per-device ledger states of a plain batch-order GenerateReportScratch
+// loop over a second fleet. One Generator carries its scratch across every
+// batch and seed; under `go test -race` this doubles as the concurrent
+// device-group race check.
+func TestGeneratorMatchesSequential(t *testing.T) {
+	var gen Generator
+	var scratch core.Scratch
+	for seed := int64(1); seed <= 12; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		const devices = 6
+		db := fanoutDB(rng, devices)
+		epsG := []float64{0.004, 0.02, 1}[rng.Intn(3)]
+		fleetPar := fanoutFleet(db, epsG)
+		fleetSeq := fanoutFleet(db, epsG)
+
+		for batch := 0; batch < 4; batch++ {
+			n := 1 + rng.Intn(24)
+			convs := make([]events.Event, n)
+			reqs := make([]*core.Request, n)
+			for i := range convs {
+				convs[i] = events.Event{
+					ID: events.EventID(1000 + i), Kind: events.KindConversion,
+					Device: events.DeviceID(1 + rng.Intn(devices)),
+					Day:    30 + rng.Intn(5),
+				}
+				reqs[i] = fanoutRequest(rng)
+			}
+
+			reports, stats, err := gen.Generate(fleetPar, reqs, convs, 4)
+			if err != nil {
+				t.Fatalf("seed %d batch %d: %v", seed, batch, err)
+			}
+
+			for i := range convs {
+				dev := fleetSeq.GetOrCreate(convs[i].Device)
+				repRef, stRef, err := dev.GenerateReportScratch(reqs[i], &scratch)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rep := reports[i]
+				if rep.Querier != repRef.Querier || rep.Device != repRef.Device ||
+					!slices.Equal(rep.Histogram, repRef.Histogram) ||
+					rep.BiasFlag != repRef.BiasFlag {
+					t.Fatalf("seed %d batch %d conv %d: report %+v vs %+v",
+						seed, batch, i, rep, repRef)
+				}
+				if stats[i] != stRef {
+					t.Fatalf("seed %d batch %d conv %d: stats %+v vs %+v",
+						seed, batch, i, stats[i], stRef)
+				}
+			}
+			for d := events.DeviceID(1); d <= devices; d++ {
+				lp := fleetPar.GetOrCreate(d).Ledger()
+				ls := fleetSeq.GetOrCreate(d).Ledger()
+				if !reflect.DeepEqual(lp, ls) {
+					t.Fatalf("seed %d batch %d device %d: ledgers diverged", seed, batch, d)
+				}
+			}
+		}
+	}
+}
+
+// TestGeneratorErrorDeterministic pins the satellite contract that replaced
+// the worker panic: malformed requests at several conversion indices, on
+// different devices, must surface as one error naming the smallest offending
+// conversion index — the same error for every worker count — while valid
+// devices' visits complete without charging the offenders.
+func TestGeneratorErrorDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	db := fanoutDB(rng, 6)
+	const n = 20
+	convs := make([]events.Event, n)
+	reqs := make([]*core.Request, n)
+	for i := range convs {
+		convs[i] = events.Event{
+			ID: events.EventID(1000 + i), Kind: events.KindConversion,
+			Device: events.DeviceID(1 + i%6), Day: 30,
+		}
+		reqs[i] = fanoutRequest(rng)
+	}
+	// Invalid requests on three different devices; 7 is the smallest index.
+	reqs[7].Epsilon = -1
+	reqs[11].LastEpoch = reqs[11].FirstEpoch - 1
+	reqs[16].Selector = nil
+
+	var msgs []string
+	for _, workers := range []int{1, 2, 8} {
+		fleet := fanoutFleet(db, 1)
+		_, _, err := GenerateReports(fleet, reqs, convs, workers)
+		if err == nil {
+			t.Fatalf("workers=%d: expected error", workers)
+		}
+		if !strings.Contains(err.Error(), "conversion 7") {
+			t.Fatalf("workers=%d: error does not name smallest conversion: %v", workers, err)
+		}
+		msgs = append(msgs, err.Error())
+	}
+	for _, m := range msgs[1:] {
+		if m != msgs[0] {
+			t.Fatalf("error differs across worker counts: %q vs %q", msgs[0], m)
+		}
+	}
+}
+
+// TestGrouperReuse checks the reusable grouping scratch against the one-shot
+// GroupByDevice across a sequence of batches of varying shape (growing,
+// shrinking, empty), where the returned groups alias scratch reused from
+// prior calls.
+func TestGrouperReuse(t *testing.T) {
+	var g Grouper
+	rng := rand.New(rand.NewSource(9))
+	for batch := 0; batch < 30; batch++ {
+		n := rng.Intn(25)
+		convs := make([]events.Event, n)
+		for i := range convs {
+			convs[i] = events.Event{Device: events.DeviceID(rng.Intn(5))}
+		}
+		got := g.Group(convs)
+		want := GroupByDevice(convs)
+		if len(got) != len(want) {
+			t.Fatalf("batch %d: %d groups, want %d", batch, len(got), len(want))
+		}
+		for gi := range want {
+			if !slices.Equal(got[gi], want[gi]) {
+				t.Fatalf("batch %d group %d: %v want %v", batch, gi, got[gi], want[gi])
+			}
+		}
+	}
+}

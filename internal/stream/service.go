@@ -255,6 +255,14 @@ type Service struct {
 	nextIndex  int
 	evictFloor events.Epoch
 
+	// gen and the day buffers are the generate stage's cross-day reusable
+	// state: grouping scratch, per-worker multi-request workspaces, and the
+	// super-batch concatenation/output slices (see generateDay).
+	gen      Generator
+	dayConvs []events.Event
+	dayReqs  []*core.Request
+	dayOut   []convOutput
+
 	// Durability state (nil/zero without Config.CheckpointDir).
 	wal         *checkpoint.WAL
 	walBuf      []byte // reused WAL record encoding buffer

@@ -35,15 +35,19 @@ type convOutput struct {
 }
 
 // generateReports runs the generate stage for one on-device batch via the
-// shared device-grouped loop (stream.GenerateReports), outputs slotted by
-// conversion index.
-func (r *Run) generateReports(reqs []*core.Request, batch []events.Event) []convOutput {
-	reports, stats := stream.GenerateReports(r.fleet, reqs, batch, r.Config.Parallelism)
+// shared device-grouped loop (stream.Generator, reused across the run's
+// batches), outputs slotted by conversion index. A malformed request
+// surfaces as an error instead of panicking a worker mid-batch.
+func (r *Run) generateReports(reqs []*core.Request, batch []events.Event) ([]convOutput, error) {
+	reports, stats, err := r.gen.Generate(r.fleet, reqs, batch, r.Config.Parallelism)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]convOutput, len(batch))
 	for i := range out {
 		out[i] = convOutput{report: reports[i], stats: stats[i]}
 	}
-	return out
+	return out, nil
 }
 
 // trueValues runs the generate stage for one IPA-like batch: the central

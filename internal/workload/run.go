@@ -28,6 +28,9 @@ type Run struct {
 	central   *budget.IPALike
 	requested map[devEpoch]map[events.Site]struct{}
 	ipaNoise  *stats.RNG
+	// gen is the generate stage's reusable state (grouping scratch,
+	// per-worker workspaces), shared by every batch of the run.
+	gen stream.Generator
 	// totalConsumed is the running sum of consumed privacy loss across
 	// all device-epochs (for IPA-like, central consumption is charged to
 	// every device in the population).
@@ -79,7 +82,10 @@ func Execute(cfg Config) (*Run, error) {
 	service := aggregation.NewService(stats.Stream(cfg.Seed, "aggregation-noise"))
 	plans := r.plan()
 	for i, p := range plans {
-		res := r.executeQuery(service, p)
+		res, err := r.executeQuery(service, p)
+		if err != nil {
+			return nil, err
+		}
 		res.Index = i
 		res.avgBudgetAfter = r.PopulationAvgBudget()
 		r.Results = append(r.Results, res)
@@ -182,8 +188,9 @@ func (r *Run) markRequested(dev events.DeviceID, q events.Site, first, last even
 // (build every conversion's request, sequentially — it mutates the
 // requested-epoch accounting), generate (fan report generation out across
 // the worker pool; see pipeline.go), aggregate (fold per-conversion outputs
-// in conversion order and release the noisy result).
-func (r *Run) executeQuery(service *aggregation.Service, p queryPlan) QueryResult {
+// in conversion order and release the noisy result). A malformed request in
+// the generate stage aborts the run with an error.
+func (r *Run) executeQuery(service *aggregation.Service, p queryPlan) (QueryResult, error) {
 	res := QueryResult{
 		Querier: p.advertiser.Site,
 		Product: p.product,
@@ -211,7 +218,10 @@ func (r *Run) executeQuery(service *aggregation.Service, p queryPlan) QueryResul
 	switch r.Config.System {
 	case CookieMonster, ARALike:
 		// Stage 2: generate reports on-device, in parallel.
-		outputs := r.generateReports(reqs, p.batch)
+		outputs, err := r.generateReports(reqs, p.batch)
+		if err != nil {
+			return res, err
+		}
 
 		// Stage 3: aggregate. Per-conversion outputs fold in
 		// conversion order, so sums are schedule-independent.
@@ -281,5 +291,5 @@ func (r *Run) executeQuery(service *aggregation.Service, p queryPlan) QueryResul
 	} else {
 		res.RMSRE = math.NaN()
 	}
-	return res
+	return res, nil
 }

@@ -5,6 +5,7 @@ import (
 	"flag"
 	"os"
 	"testing"
+	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/stream"
@@ -97,5 +98,135 @@ func TestStreamPeakMemoryGuard(t *testing.T) {
 			"bounded-memory ingestion may have broken; if the growth is intentional, "+
 			"regenerate with -update-peak",
 			float64(peak)/(1<<20), float64(limit)/(1<<20), float64(base.PeakBytes)/(1<<20))
+	}
+}
+
+// Wall-time guard for the streaming service: the same 10× micro-population
+// run must not get more than 20% slower than the committed baseline
+// (testdata/bench/stream_time_baseline.json). Raw seconds do not transfer
+// between machines, so the baseline stores the stream run's wall time
+// together with the wall time of a fixed CPU-bound calibration loop measured
+// in the same process, and the guard compares the stream/calibration *ratio*:
+// a CI runner half the speed of the baseline machine halves both numbers and
+// the ratio stands still, while a real regression in the streaming path moves
+// only the numerator. The stream side takes the best of two runs and the
+// calibration the best of three, which with the 20% margin absorbs ordinary
+// scheduler noise.
+//
+// Runs only with STREAM_TIME_GUARD=1 (CI sets it). Regenerate after an
+// intentional slowdown with
+//
+//	STREAM_TIME_GUARD=1 go test -run TestStreamWallTimeGuard -update-stream-time .
+
+var updateStreamTime = flag.Bool("update-stream-time", false,
+	"rewrite testdata/bench/stream_time_baseline.json from the current run")
+
+const timeBaselinePath = "testdata/bench/stream_time_baseline.json"
+
+type timeBaseline struct {
+	// StreamSeconds is the best-of-two wall time of the 10× stream run on
+	// the reference machine; CalibSeconds is the best-of-three wall time of
+	// the fixed calibration loop on the same machine. Only their ratio is
+	// compared across machines.
+	StreamSeconds float64 `json:"stream_seconds"`
+	CalibSeconds  float64 `json:"calib_seconds"`
+	Note          string  `json:"note"`
+}
+
+// calibSink keeps the calibration loop observable so it cannot be optimized
+// away.
+var calibSink uint64
+
+// calibrationSeconds times a fixed CPU-bound xorshift loop, best of three.
+func calibrationSeconds() float64 {
+	best := time.Duration(1<<63 - 1)
+	for run := 0; run < 3; run++ {
+		start := time.Now()
+		x := uint64(0x9E3779B97F4A7C15)
+		for i := 0; i < 200_000_000; i++ {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+		}
+		calibSink = x
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return best.Seconds()
+}
+
+func TestStreamWallTimeGuard(t *testing.T) {
+	if os.Getenv("STREAM_TIME_GUARD") == "" {
+		t.Skip("wall-time guard runs only with STREAM_TIME_GUARD=1 (set by the CI streaming smoke job)")
+	}
+	best := time.Duration(1<<63 - 1)
+	for run := 0; run < 2; run++ {
+		// A fresh source per run: the stream consumes it.
+		src, err := dataset.NewSynthetic(streamBenchConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		svc, err := stream.New(stream.Config{
+			Source:       src,
+			EpsilonG:     5,
+			FixedEpsilon: 1,
+			Seed:         1,
+			Lean:         true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := svc.Serve(); err != nil {
+			t.Fatal(err)
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	streamSec := best.Seconds()
+	calibSec := calibrationSeconds()
+	t.Logf("10x stream run: %.3fs wall, calibration %.3fs, ratio %.2f",
+		streamSec, calibSec, streamSec/calibSec)
+
+	if *updateStreamTime {
+		out, err := json.MarshalIndent(timeBaseline{
+			StreamSeconds: streamSec,
+			CalibSeconds:  calibSec,
+			Note:          "wall time of the 10x micro-population streaming run, normalized by a fixed CPU calibration loop (see stream_guard_test.go)",
+		}, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata/bench", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(timeBaselinePath, append(out, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s with stream %.3fs / calib %.3fs", timeBaselinePath, streamSec, calibSec)
+		return
+	}
+
+	raw, err := os.ReadFile(timeBaselinePath)
+	if err != nil {
+		t.Fatalf("reading wall-time baseline (regenerate with -update-stream-time): %v", err)
+	}
+	var base timeBaseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		t.Fatalf("decoding wall-time baseline: %v", err)
+	}
+	if base.CalibSeconds <= 0 || base.StreamSeconds <= 0 {
+		t.Fatalf("degenerate wall-time baseline %+v (regenerate with -update-stream-time)", base)
+	}
+	ratio := streamSec / calibSec
+	baseRatio := base.StreamSeconds / base.CalibSeconds
+	limit := baseRatio * 1.2 // +20%
+	if ratio > limit {
+		t.Fatalf("streaming wall time regressed: normalized ratio %.2f > %.2f (baseline %.2f + 20%%) — "+
+			"the generate stage may have gotten slower; if the slowdown is intentional, "+
+			"regenerate with -update-stream-time",
+			ratio, limit, baseRatio)
 	}
 }
