@@ -4,12 +4,16 @@
 //
 // Usage:
 //
-//	cookiemonster [-quick] [-seed N] [-parallel N] [-stream] [fig4|fig5|fig6|fig7|appb|all]
+//	cookiemonster [-quick] [-seed N] [-parallel N] [-stream] [fig4|fig5|fig6|fig7|appb|scenarios|all]
 //
 // With -stream, every workload runs through the online measurement service
 // (internal/stream): events are ingested as a day-ordered stream through a
 // bounded queue and queries fire as their batches fill. Results are
 // bit-identical to batch mode, so the figures reproduce exactly.
+//
+// The scenarios target runs the hostile-traffic catalog (internal/scenario)
+// through the robustness harness; -scenario selects one catalog entry and
+// -scenario-out writes the BENCH_scenarios.json artifact.
 package main
 
 import (
@@ -42,6 +46,12 @@ func main() {
 	resume := flag.Bool("resume", false,
 		"recover interrupted runs from -checkpoint-dir's durable state and continue; "+
 			"results are identical to an uninterrupted run")
+	scenarioName := flag.String("scenario", "",
+		"with the scenarios target: run a single named hostile-traffic scenario "+
+			"from the catalog instead of all of them (see README for the list)")
+	scenarioOut := flag.String("scenario-out", "",
+		"with the scenarios target: also write the robustness report as a "+
+			"BENCH_scenarios.json artifact at this path")
 	flag.Parse()
 
 	if *resume && *checkpointDir == "" {
@@ -67,7 +77,12 @@ func main() {
 		"appb":     func(o experiments.Options) (tabler, error) { return experiments.AppendixB(o) },
 		"ablation": func(o experiments.Options) (tabler, error) { return experiments.Ablation(o) },
 		"headline": func(o experiments.Options) (tabler, error) { return experiments.Headline(o) },
+		"scenarios": func(o experiments.Options) (tabler, error) {
+			return experiments.Scenarios(o, *scenarioName, *scenarioOut)
+		},
 	}
+	// The scenarios target is opt-in: "all" keeps reproducing the paper's
+	// figures, and the robustness gauntlet runs when asked for by name.
 	order := []string{"fig4", "fig5", "fig6", "fig7", "appb", "ablation", "headline"}
 
 	var selected []string
@@ -76,7 +91,7 @@ func main() {
 	} else if _, ok := harnesses[target]; ok {
 		selected = []string{target}
 	} else {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want fig4|fig5|fig6|fig7|appb|ablation|headline|all)\n", target)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want fig4|fig5|fig6|fig7|appb|ablation|headline|scenarios|all)\n", target)
 		os.Exit(2)
 	}
 

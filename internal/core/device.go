@@ -72,6 +72,11 @@ func (d *Device) ConsumedByQuerier() map[events.Site]float64 {
 	return out
 }
 
+// BudgetDenials returns the number of budget charges this device's ledger
+// has denied — how often queriers ran into the device's filter capacity.
+// Telemetry only; it is not part of the budget state.
+func (d *Device) BudgetDenials() uint64 { return d.ledger.Denials() }
+
 // RestoreBudgetRow sets one (querier, epoch) budget slot from persisted
 // state — the checkpoint/restore path into the device's flat ledger. It
 // refuses refunds and epochs below the retention floor, and honors a

@@ -1,6 +1,7 @@
 package dataset
 
 import (
+	"fmt"
 	"sort"
 
 	"repro/internal/events"
@@ -90,6 +91,15 @@ func (d *Dataset) Meta() Meta {
 // Materialize drains a source into an ordinary in-memory Dataset — the
 // bridge from any streaming source to the batch engine, which the
 // streaming-vs-batch equivalence contract runs both modes against.
+//
+// It enforces the Source contract as it drains: events must arrive in
+// nondecreasing (Day, ID) order, and a violation panics immediately with
+// both offending events. A misbehaving source would otherwise corrupt the
+// batch planner's cursor silently — batches are chunked in sorted order, so
+// a single out-of-place event shifts every later batch boundary. Sources
+// that legitimately deliver disordered traffic (the hostile-traffic
+// perturbations of internal/scenario) are consumed by the streaming
+// service's admission policy, never materialized directly.
 func Materialize(s Source) *Dataset {
 	m := s.Meta()
 	ds := &Dataset{
@@ -102,6 +112,11 @@ func Materialize(s Source) *Dataset {
 		ev, ok := s.Next()
 		if !ok {
 			return ds
+		}
+		if n := len(ds.Events); n > 0 && ev.Before(ds.Events[n-1]) {
+			panic(fmt.Sprintf(
+				"dataset: source %q out of order: event %d (day %d) after event %d (day %d)",
+				m.Name, ev.ID, ev.Day, ds.Events[n-1].ID, ds.Events[n-1].Day))
 		}
 		ds.Events = append(ds.Events, ev)
 	}

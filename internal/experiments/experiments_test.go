@@ -298,3 +298,28 @@ func TestStreamingModeReproducesFigures(t *testing.T) {
 		t.Fatalf("Fig7 diverges in streaming mode:\n  batch:  %+v\n  stream: %+v", batch7, stream7)
 	}
 }
+
+func TestScenariosHarness(t *testing.T) {
+	res, err := Scenarios(Options{Quick: true}, "late-events", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single-scenario selection keeps the clean baseline for the ratio.
+	if len(res.Reports) != 2 {
+		t.Fatalf("got %d reports, want clean + late-events", len(res.Reports))
+	}
+	late := res.Reports[1]
+	if late.Name != "late-events" || late.EventsDropped == 0 {
+		t.Fatalf("late-events report malformed: %+v", late)
+	}
+	if !late.EquivalentToBatch || !late.CrashResumeIdentical {
+		t.Fatal("robustness verdicts not set")
+	}
+	tables := res.Tables()
+	if len(tables) != 1 || len(tables[0].Rows) != 2 {
+		t.Fatalf("unexpected tables: %+v", tables)
+	}
+	if _, err := Scenarios(Options{Quick: true}, "no-such", ""); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}

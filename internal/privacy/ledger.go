@@ -48,6 +48,11 @@ type Ledger struct {
 	capacity float64
 	floor    int64
 	lanes    map[string]*ledgerLane
+	// denials counts ChargeDenied outcomes over the ledger's lifetime —
+	// the budget-drain telemetry behind the hostile-traffic scenarios.
+	// Pure observability: it is not part of the budget state and is not
+	// persisted in snapshots.
+	denials uint64
 	// capOv holds per-slot capacity overrides, populated only when Restore
 	// loads a snapshot row whose capacity differs from the ledger's. nil in
 	// every live-traffic ledger, so the hot path never consults it.
@@ -159,6 +164,7 @@ func (l *Ledger) chargeSlotLocked(ln *ledgerLane, q string, e int64, eps float64
 	limit := l.capAt(q, e)
 	// Tolerate float rounding at the boundary, exactly as Filter.Consume.
 	if *c+eps > limit*(1+1e-9) {
+		l.denials++
 		return ChargeDenied
 	}
 	*c += eps
@@ -255,6 +261,16 @@ func (l *Ledger) ChargeWindowBatch(charges []WindowCharge) {
 	for _, ch := range charges {
 		l.chargeWindowLocked(ch.Querier, ch.First, ch.Losses, ch.Outcomes)
 	}
+}
+
+// Denials returns the number of charges this ledger has denied for lack of
+// budget, across all queriers and epochs. Every denial path (Charge,
+// ChargeWindow, ChargeWindowBatch) counts here; evicted-epoch and zero-loss
+// outcomes do not.
+func (l *Ledger) Denials() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.denials
 }
 
 // Consumed returns the privacy loss consumed so far by querier q from epoch

@@ -403,3 +403,32 @@ func TestChargeWindowBatchMatchesSequential(t *testing.T) {
 		}
 	}
 }
+
+// TestLedgerDenialsCounter pins the denial-telemetry semantics: the counter
+// increments once per denied charge — and only then. Zero charges, evicted
+// epochs, and granted charges leave it alone.
+func TestLedgerDenialsCounter(t *testing.T) {
+	l := NewLedger(1)
+	if l.Denials() != 0 {
+		t.Fatalf("fresh ledger has %d denials", l.Denials())
+	}
+	if got := l.Charge("q", 0, 0.8); got != ChargeOK {
+		t.Fatalf("first charge = %v", got)
+	}
+	if got := l.Charge("q", 0, 0.8); got != ChargeDenied {
+		t.Fatalf("over-capacity charge = %v", got)
+	}
+	if got := l.Charge("q", 0, 0.8); got != ChargeDenied {
+		t.Fatalf("repeat over-capacity charge = %v", got)
+	}
+	if l.Charge("q", 1, 0) != ChargeZero {
+		t.Fatal("zero charge not ChargeZero")
+	}
+	l.AdvanceFloor(5)
+	if l.Charge("q", 2, 0.5) != ChargeEvicted {
+		t.Fatal("evicted charge not ChargeEvicted")
+	}
+	if l.Denials() != 2 {
+		t.Fatalf("denials = %d, want 2", l.Denials())
+	}
+}

@@ -1,0 +1,44 @@
+package scenario
+
+import (
+	"repro/internal/dataset"
+)
+
+// Admitted replays a scenario source through the streaming service's
+// admission rule without any service state: an event is admitted exactly
+// when its day stamp is not below the maximum day delivered so far (the
+// service's day clock only ever advances, and an event at the clock's
+// current day is never late). It returns the admitted events as a
+// materialized dataset carrying the source's metadata, plus the number of
+// events the rule dropped.
+//
+// The admitted dataset is the batch-equivalence oracle for hostile traffic:
+// a streaming run over the full perturbed source under the drop-with-counter
+// policy must be bit-identical to a batch run over Admitted's dataset, and
+// the drop counts must agree. Admitted consumes the source; callers build a
+// fresh one per use (Spec.Source).
+func Admitted(src dataset.Source) (*dataset.Dataset, int) {
+	m := src.Meta()
+	ds := &dataset.Dataset{
+		Name:              m.Name,
+		PopulationDevices: m.PopulationDevices,
+		DurationDays:      m.DurationDays,
+		Advertisers:       m.Advertisers,
+	}
+	dropped := 0
+	day := 0
+	started := false
+	for {
+		ev, ok := src.Next()
+		if !ok {
+			return ds, dropped
+		}
+		if started && ev.Day < day {
+			dropped++
+			continue
+		}
+		started = true
+		day = ev.Day
+		ds.Events = append(ds.Events, ev)
+	}
+}

@@ -1,0 +1,448 @@
+package scenario
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/metrics"
+	"slices"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/events"
+	"repro/internal/figures"
+	"repro/internal/stream"
+	"repro/internal/workload"
+)
+
+// Harness drives scenarios through the robustness properties: for each spec
+// it computes the admitted-event batch oracle, checks the streaming run
+// against it bit for bit at several parallelism levels, runs the crash
+// matrix (crash at each fault point mid-run, resume, compare digests), and
+// collects the degradation report.
+type Harness struct {
+	// Dataset is the clean base trace every scenario perturbs.
+	Dataset *dataset.Dataset
+	// Config carries the scenario-independent workload knobs (system,
+	// budgets, seed). Its Dataset, Parallelism, DropLate and checkpoint
+	// fields are managed per run by the harness.
+	Config workload.Config
+	// Parallelisms are the worker counts the equivalence check runs at.
+	// Nil selects {1, 4, GOMAXPROCS}.
+	Parallelisms []int
+	// FaultPoints is the crash matrix. Nil selects every stream.Point;
+	// tests under -short sample a subset.
+	FaultPoints []stream.FaultPoint
+	// SnapshotEveryDays is the checkpoint cadence for the crash runs
+	// (0 selects 14, the crash-recovery suite's cadence).
+	SnapshotEveryDays int
+	// MeasureHeap samples live heap bytes around one streaming run and
+	// reports the peak growth. Off by default: the sampler perturbs
+	// timing-sensitive callers.
+	MeasureHeap bool
+}
+
+// DefaultHarness returns the harness the catalog tests, the CLI and the CI
+// smoke job share: the figures catalog's "cookie-monster" microbenchmark
+// workload, whose clean streaming digest is already pinned by the golden
+// fixtures.
+func DefaultHarness() (Harness, error) {
+	w, err := figures.ByName("cookie-monster")
+	if err != nil {
+		return Harness{}, err
+	}
+	cfg, err := w.Config()
+	if err != nil {
+		return Harness{}, err
+	}
+	return Harness{Dataset: cfg.Dataset, Config: cfg}, nil
+}
+
+// Report is one scenario's robustness outcome — the BENCH_scenarios.json
+// row. Counters come from the streaming run, accuracy from its executed
+// queries, and the two verdict booleans from the equivalence and crash
+// checks.
+type Report struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	Seed        uint64 `json:"seed"`
+
+	// Admission: delivered = admitted + dropped.
+	EventsDelivered int `json:"eventsDelivered"`
+	EventsAdmitted  int `json:"eventsAdmitted"`
+	EventsDropped   int `json:"eventsDropped"`
+
+	// Query outcomes and budget drain.
+	Queries         int                `json:"queries"`
+	QueriesExecuted int                `json:"queriesExecuted"`
+	DeniedReports   int                `json:"deniedReports"`
+	LedgerDenials   uint64             `json:"ledgerDenials"`
+	ConsumedEpsilon map[string]float64 `json:"consumedEpsilon"`
+	TotalEpsilon    float64            `json:"totalEpsilon"`
+
+	// Accuracy: mean realized RMSRE over executed honest queries, and its
+	// ratio to the clean baseline's (1 = parity; 0 until RunCatalog fills
+	// it in).
+	MeanRMSRE       float64 `json:"meanRMSRE"`
+	AccuracyVsClean float64 `json:"accuracyVsClean"`
+
+	// PeakHeapBytes is the peak live-heap growth over the post-GC
+	// baseline during one streaming run (0 unless Harness.MeasureHeap).
+	PeakHeapBytes uint64 `json:"peakHeapBytes"`
+
+	// Verdicts.
+	Parallelisms         []int  `json:"parallelisms"`
+	EquivalentToBatch    bool   `json:"equivalentToBatch"`
+	CrashPointsTested    int    `json:"crashPointsTested"`
+	CrashResumeIdentical bool   `json:"crashResumeIdentical"`
+	Digest               string `json:"digest"`
+}
+
+// errInjected is the sentinel the crash matrix's fault hooks return.
+var errInjected = errors.New("scenario: injected crash")
+
+// streamCfg is the per-run streaming configuration: fresh Dataset-free
+// config (metadata comes from the scenario source), drop-late admission, the
+// requested parallelism.
+func (h Harness) streamCfg(p int) workload.Config {
+	cfg := h.Config
+	cfg.Dataset = nil
+	cfg.DropLate = true
+	cfg.Parallelism = p
+	cfg.CheckpointDir = ""
+	cfg.SnapshotEveryDays = 0
+	cfg.Resume = false
+	cfg.FaultHook = nil
+	return cfg
+}
+
+func (h Harness) parallelisms() []int {
+	if len(h.Parallelisms) > 0 {
+		return h.Parallelisms
+	}
+	ps := []int{1, 4}
+	if n := runtime.GOMAXPROCS(0); n != 1 && n != 4 {
+		ps = append(ps, n)
+	}
+	return ps
+}
+
+func (h Harness) faultPoints() []stream.FaultPoint {
+	if len(h.FaultPoints) > 0 {
+		return h.FaultPoints
+	}
+	return stream.Points
+}
+
+func (h Harness) snapshotCadence() int {
+	if h.SnapshotEveryDays > 0 {
+		return h.SnapshotEveryDays
+	}
+	return 14
+}
+
+// Run drives one scenario through every property and returns its report. A
+// property violation (stream diverging from the batch oracle, a resume
+// diverging from the uninterrupted run, counter mismatches) is returned as
+// an error, not a report row: the harness's promise is that a returned
+// report describes a run on which every invariant held.
+func (h Harness) Run(spec Spec) (*Report, error) {
+	if err := spec.Validate(h.Dataset); err != nil {
+		return nil, err
+	}
+
+	// The batch oracle: materialize the admission rule's verdicts, then
+	// run the batch engine — an independent implementation with no day
+	// clock — over the admitted events.
+	admitted, dropped := Admitted(spec.Source(h.Dataset))
+	batchCfg := h.Config
+	batchCfg.Dataset = admitted
+	batchCfg.Parallelism = 1
+	batchCfg.DropLate = false
+	ref, err := workload.Execute(batchCfg)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: batch oracle: %w", spec.Name, err)
+	}
+	want := ref.CanonicalDigest()
+
+	rep := &Report{
+		Name:            spec.Name,
+		Description:     spec.Description,
+		Seed:            spec.Seed,
+		EventsDelivered: len(admitted.Events) + dropped,
+		EventsAdmitted:  len(admitted.Events),
+		EventsDropped:   dropped,
+		Parallelisms:    h.parallelisms(),
+		Digest:          want,
+	}
+
+	// Equivalence: the streaming run over the full perturbed source must
+	// match the oracle bit for bit at every parallelism, and its admission
+	// counters must match the pure rule's.
+	var run *workload.Run
+	for i, p := range rep.Parallelisms {
+		measure := h.MeasureHeap && i == len(rep.Parallelisms)-1
+		r, peak, err := h.oneStreamRun(spec, p, measure)
+		if err != nil {
+			return nil, err
+		}
+		if got := r.CanonicalDigest(); got != want {
+			return nil, fmt.Errorf(
+				"scenario %s: stream(parallelism=%d) diverged from batch oracle: %s != %s",
+				spec.Name, p, got, want)
+		}
+		if r.EventsIngested != rep.EventsDelivered || r.EventsDropped != dropped {
+			return nil, fmt.Errorf(
+				"scenario %s: admission counters diverged: service drained %d dropped %d, rule says %d/%d",
+				spec.Name, r.EventsIngested, r.EventsDropped, rep.EventsDelivered, dropped)
+		}
+		if measure {
+			rep.PeakHeapBytes = peak
+		}
+		run = r
+	}
+	rep.EquivalentToBatch = true
+
+	// Crash matrix: count each fault point's firings in one checkpointed
+	// (uninterrupted) run, then crash mid-run at every point and require
+	// the resumed run to reproduce the oracle digest exactly.
+	counts, err := h.countFaultPoints(spec, want)
+	if err != nil {
+		return nil, err
+	}
+	for _, pt := range h.faultPoints() {
+		n := counts[pt]
+		if n == 0 {
+			return nil, fmt.Errorf("scenario %s: fault point %s never fired", spec.Name, pt)
+		}
+		if err := h.crashAndResume(spec, pt, (n+1)/2, want); err != nil {
+			return nil, err
+		}
+		rep.CrashPointsTested++
+	}
+	rep.CrashResumeIdentical = true
+
+	// Degradation numbers from the (equivalence-checked) streaming run.
+	rep.Queries = len(run.Results)
+	for _, res := range run.Results {
+		if res.Executed {
+			rep.QueriesExecuted++
+		}
+		rep.DeniedReports += res.DeniedReports
+	}
+	rep.LedgerDenials = run.BudgetDenials()
+	rep.ConsumedEpsilon = make(map[string]float64)
+	queriers := make([]string, 0, len(rep.ConsumedEpsilon))
+	for q, eps := range run.ConsumedByQuerier() {
+		rep.ConsumedEpsilon[string(q)] = eps
+		queriers = append(queriers, string(q))
+	}
+	slices.Sort(queriers) // deterministic float summation order
+	for _, q := range queriers {
+		rep.TotalEpsilon += rep.ConsumedEpsilon[q]
+	}
+	var attacker events.Site
+	if spec.Adversary != nil {
+		attacker = spec.Adversary.Site
+	}
+	rep.MeanRMSRE = meanHonestRMSRE(run, attacker)
+	return rep, nil
+}
+
+// meanHonestRMSRE averages the realized RMSRE of executed queries, excluding
+// the attacker's own queries (whose accuracy is not a degradation signal).
+func meanHonestRMSRE(run *workload.Run, attacker events.Site) float64 {
+	sum, n := 0.0, 0
+	for _, res := range run.Results {
+		if !res.Executed || (attacker != "" && res.Querier == attacker) {
+			continue
+		}
+		sum += res.RMSRE
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// oneStreamRun executes the scenario's streaming run at one parallelism,
+// optionally sampling peak heap growth around it.
+func (h Harness) oneStreamRun(spec Spec, parallelism int, measure bool) (*workload.Run, uint64, error) {
+	var run *workload.Run
+	var err error
+	body := func() {
+		run, err = workload.ExecuteSource(h.streamCfg(parallelism), spec.Source(h.Dataset))
+	}
+	var peak uint64
+	if measure {
+		peak = peakHeapDuring(body)
+	} else {
+		body()
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("scenario %s: stream(parallelism=%d): %w", spec.Name, parallelism, err)
+	}
+	return run, peak, nil
+}
+
+// countFaultPoints runs the scenario once, checkpointed and uninterrupted,
+// counting how often each fault point fires — the denominators the crash
+// matrix uses to crash mid-run rather than at a trivial first firing. The
+// run doubles as the "durability does not perturb results" check.
+func (h Harness) countFaultPoints(spec Spec, want string) (map[stream.FaultPoint]int, error) {
+	dir, err := os.MkdirTemp("", "scenario-count-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	counts := make(map[stream.FaultPoint]int)
+	cfg := h.streamCfg(4)
+	cfg.CheckpointDir = dir
+	cfg.SnapshotEveryDays = h.snapshotCadence()
+	cfg.FaultHook = func(p stream.FaultPoint) error {
+		counts[p]++
+		return nil
+	}
+	run, err := workload.ExecuteSource(cfg, spec.Source(h.Dataset))
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: checkpointed run: %w", spec.Name, err)
+	}
+	if got := run.CanonicalDigest(); got != want {
+		return nil, fmt.Errorf("scenario %s: checkpointed run diverged from oracle", spec.Name)
+	}
+	return counts, nil
+}
+
+// crashAndResume kills the scenario's streaming run at the at-th firing of
+// point, resumes from the checkpoint directory, and requires the completed
+// resumed run to match the batch oracle digest bit for bit.
+func (h Harness) crashAndResume(spec Spec, point stream.FaultPoint, at int, want string) error {
+	dir, err := os.MkdirTemp("", "scenario-crash-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	seen := 0
+	cfg := h.streamCfg(4)
+	cfg.CheckpointDir = dir
+	cfg.SnapshotEveryDays = h.snapshotCadence()
+	cfg.FaultHook = func(p stream.FaultPoint) error {
+		if p == point {
+			seen++
+			if seen == at {
+				return errInjected
+			}
+		}
+		return nil
+	}
+	_, err = workload.ExecuteSource(cfg, spec.Source(h.Dataset))
+	switch {
+	case err == nil:
+		return fmt.Errorf("scenario %s: crash at %s#%d did not fire", spec.Name, point, at)
+	case !errors.Is(err, errInjected):
+		return fmt.Errorf("scenario %s: crash run at %s#%d: %w", spec.Name, point, at, err)
+	}
+
+	rcfg := h.streamCfg(4)
+	rcfg.CheckpointDir = dir
+	rcfg.SnapshotEveryDays = h.snapshotCadence()
+	rcfg.Resume = true
+	run, err := workload.ExecuteSource(rcfg, spec.Source(h.Dataset))
+	if err != nil {
+		return fmt.Errorf("scenario %s: resume after %s#%d: %w", spec.Name, point, at, err)
+	}
+	if got := run.CanonicalDigest(); got != want {
+		return fmt.Errorf("scenario %s: resume after %s#%d diverged: %s != %s",
+			spec.Name, point, at, got, want)
+	}
+	return nil
+}
+
+// RunCatalog runs every spec and fills in each report's accuracy-vs-clean
+// ratio from the catalog's clean baseline (the spec with no perturbations).
+func (h Harness) RunCatalog(specs []Spec) ([]*Report, error) {
+	reports := make([]*Report, 0, len(specs))
+	var clean *Report
+	for _, sp := range specs {
+		rep, err := h.Run(sp)
+		if err != nil {
+			return nil, err
+		}
+		reports = append(reports, rep)
+		if clean == nil && sp.Burst == nil && sp.Late == nil && sp.Churn == nil &&
+			sp.Skew == nil && sp.Adversary == nil {
+			clean = rep
+		}
+	}
+	if clean != nil && clean.MeanRMSRE > 0 {
+		for _, rep := range reports {
+			rep.AccuracyVsClean = rep.MeanRMSRE / clean.MeanRMSRE
+		}
+	}
+	return reports, nil
+}
+
+// benchFile is the BENCH_scenarios.json shape, mirroring the other bench
+// artifacts' envelope.
+type benchFile struct {
+	GOOS      string    `json:"goos"`
+	GOARCH    string    `json:"goarch"`
+	GoVersion string    `json:"go"`
+	Scenarios []*Report `json:"scenarios"`
+}
+
+// WriteBench writes the scenario reports as the machine-readable
+// BENCH_scenarios.json artifact CI uploads next to the hotpath and event
+// benches.
+func WriteBench(path string, reports []*Report) error {
+	out, err := json.MarshalIndent(benchFile{
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		GoVersion: runtime.Version(),
+		Scenarios: reports,
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// peakHeapDuring runs fn with a background sampler watching live heap bytes
+// (runtime/metrics) and returns the peak growth over the post-GC baseline —
+// the same measurement as the repository's streaming memory guard.
+func peakHeapDuring(fn func()) uint64 {
+	runtime.GC()
+	sample := []metrics.Sample{{Name: "/memory/classes/heap/objects:bytes"}}
+	metrics.Read(sample)
+	baseline := sample[0].Value.Uint64()
+	peak := baseline
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s := []metrics.Sample{{Name: "/memory/classes/heap/objects:bytes"}}
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				metrics.Read(s)
+				if v := s[0].Value.Uint64(); v > peak {
+					peak = v
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+		}
+	}()
+	fn()
+	close(stop)
+	<-done
+	if peak < baseline {
+		return 0
+	}
+	return peak - baseline
+}

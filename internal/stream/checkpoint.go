@@ -63,6 +63,7 @@ type snapConfig struct {
 	MaxQueriesPerProduct int     `json:"maxQueries"`
 	Central              bool    `json:"central"`
 	Lean                 bool    `json:"lean"`
+	LatePolicy           int     `json:"latePolicy"`
 	Dataset              string  `json:"dataset"`
 }
 
@@ -78,6 +79,7 @@ func (s *Service) snapConfig() snapConfig {
 		MaxQueriesPerProduct: s.cfg.MaxQueriesPerProduct,
 		Central:              s.cfg.Central,
 		Lean:                 s.cfg.Lean,
+		LatePolicy:           int(s.cfg.LatePolicy),
 		Dataset:              s.meta.Name,
 	}
 	if s.cfg.Bias != nil {
@@ -292,6 +294,7 @@ type snapState struct {
 	CurDay         int   `json:"curDay"`
 	Started        bool  `json:"started"`
 	EventsIngested int   `json:"eventsIngested"`
+	EventsDropped  int   `json:"eventsDropped,omitempty"`
 	NextIndex      int   `json:"nextIndex"`
 	EvictFloor     int32 `json:"evictFloor"`
 	LastSnapDay    int   `json:"lastSnapDay"`
@@ -372,6 +375,7 @@ func (s *Service) snapshot() *snapState {
 		CurDay:         s.curDay,
 		Started:        s.started,
 		EventsIngested: s.run.EventsIngested,
+		EventsDropped:  s.run.EventsDropped,
 		NextIndex:      s.nextIndex,
 		EvictFloor:     int32(s.evictFloor),
 		LastSnapDay:    s.lastSnapDay,
@@ -560,6 +564,7 @@ func (s *Service) restore(snap *snapState) error {
 	s.evictFloor = events.Epoch(snap.EvictFloor)
 	s.lastSnapDay = snap.LastSnapDay
 	s.run.EventsIngested = snap.EventsIngested
+	s.run.EventsDropped = snap.EventsDropped
 	s.run.TotalConsumed = math.Float64frombits(snap.TotalConsumed)
 	s.run.PeakQueue = snap.PeakQueue
 	s.run.PeakResidentRecords = snap.PeakResidentRecords

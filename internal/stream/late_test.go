@@ -1,0 +1,146 @@
+package stream
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/events"
+)
+
+// lateEvents is a delivery order that exercises every admission boundary:
+//
+//	#1 day-5 conversion, clock at day 0→5                → accepted
+//	#2 day-5 conversion, clock at day 5 (exact day-close) → accepted
+//	#3 day-6 conversion, advances the clock               → accepted
+//	#4 day-5 conversion after day 6 opened (one day late) → late
+//	#5 day-0 conversion at day 6 (epoch long behind)      → late
+//	#6 day-6 conversion, clock still at day 6             → accepted
+func lateEvents() []events.Event {
+	return []events.Event{
+		conv(1, 1, 5),
+		conv(2, 2, 5),
+		conv(3, 3, 6),
+		conv(4, 4, 5),
+		conv(5, 5, 0),
+		conv(6, 6, 6),
+	}
+}
+
+func serveLate(t *testing.T, cfg Config) *Run {
+	t.Helper()
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := svc.Serve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return run
+}
+
+func TestLateRejectIsDefaultAndAborts(t *testing.T) {
+	src := &fakeSource{meta: testMeta(), evs: lateEvents()}
+	svc, err := New(Config{Source: src, FixedEpsilon: 1, EpsilonG: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Serve(); err == nil || !strings.Contains(err.Error(), "out of order") {
+		t.Fatalf("late event under LateReject gave err = %v", err)
+	}
+}
+
+func TestLateDropBoundaries(t *testing.T) {
+	evs := lateEvents()
+	run := serveLate(t, Config{Source: &fakeSource{meta: testMeta(), evs: evs},
+		FixedEpsilon: 1, EpsilonG: 100, LatePolicy: LateDrop})
+
+	if run.EventsIngested != 6 || run.EventsDropped != 2 {
+		t.Fatalf("drained %d dropped %d, want 6/2", run.EventsIngested, run.EventsDropped)
+	}
+
+	// The dropped events must leave no trace: the run must be identical to
+	// one that was never sent the late events at all. (Batch size 2: the
+	// two day-5 conversions fire on day 5, the two day-6 ones on day 6; a
+	// wrongly admitted late event would join — and change — a batch.)
+	accepted := []events.Event{evs[0], evs[1], evs[2], evs[5]}
+	ref := serveLate(t, Config{Source: &fakeSource{meta: testMeta(), evs: accepted},
+		FixedEpsilon: 1, EpsilonG: 100})
+	if len(run.Results) != 2 {
+		t.Fatalf("got %d queries, want 2", len(run.Results))
+	}
+	if !reflect.DeepEqual(run.Results, ref.Results) {
+		t.Fatalf("drop run diverged from accepted-only run:\n%+v\n%+v", run.Results, ref.Results)
+	}
+}
+
+func TestLateDropCountersSurviveCrashResume(t *testing.T) {
+	// Uninterrupted reference under the drop policy.
+	want := serveLate(t, Config{Source: &fakeSource{meta: testMeta(), evs: lateEvents()},
+		FixedEpsilon: 1, EpsilonG: 100, LatePolicy: LateDrop})
+
+	// Crash right after the 5th drained event — the day-0 drop — so both
+	// the snapshot-visible and WAL-replayed parts of the run contain drops.
+	dir := t.TempDir()
+	boom := errors.New("boom")
+	n := 0
+	cfg := Config{
+		Source:       &fakeSource{meta: testMeta(), evs: lateEvents()},
+		FixedEpsilon: 1, EpsilonG: 100, LatePolicy: LateDrop,
+		CheckpointDir: dir, SnapshotEveryDays: 2,
+		FaultHook: func(p FaultPoint) error {
+			if p == PointEventIngested {
+				if n++; n == 5 {
+					return boom
+				}
+			}
+			return nil
+		},
+	}
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Serve(); !errors.Is(err, boom) {
+		t.Fatalf("crash run gave err = %v", err)
+	}
+
+	rcfg := cfg
+	rcfg.Source = &fakeSource{meta: testMeta(), evs: lateEvents()}
+	rcfg.FaultHook = nil
+	svc, err = ResumeFrom(rcfg, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := svc.Serve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.EventsIngested != want.EventsIngested || run.EventsDropped != want.EventsDropped {
+		t.Fatalf("resumed counters %d/%d, want %d/%d",
+			run.EventsIngested, run.EventsDropped, want.EventsIngested, want.EventsDropped)
+	}
+	if !reflect.DeepEqual(run.Results, want.Results) {
+		t.Fatalf("resumed run diverged:\n%+v\n%+v", run.Results, want.Results)
+	}
+}
+
+func TestLatePolicyMismatchRefusesResume(t *testing.T) {
+	// LatePolicy is part of the checkpoint's scenario fingerprint: a
+	// directory written under LateDrop must not resume under LateReject —
+	// the replayed WAL contains events the reject policy would abort on.
+	dir := t.TempDir()
+	cfg := Config{Source: &fakeSource{meta: testMeta(), evs: lateEvents()},
+		FixedEpsilon: 1, EpsilonG: 100, LatePolicy: LateDrop,
+		CheckpointDir: dir, SnapshotEveryDays: 2}
+	serveLate(t, cfg)
+
+	rcfg := cfg
+	rcfg.Source = &fakeSource{meta: testMeta(), evs: lateEvents()}
+	rcfg.LatePolicy = LateReject
+	if _, err := ResumeFrom(rcfg, dir); err == nil {
+		t.Fatal("resume with mismatched LatePolicy accepted")
+	}
+}

@@ -51,6 +51,30 @@ import (
 	"repro/internal/stats"
 )
 
+// LatePolicy selects how the service treats a late event: one whose stamped
+// day is already closed (strictly below the day clock) when it reaches the
+// ingest path. The day a given event closes is data-dependent — day d closes
+// the moment the first day->d' event (d' > d) is drained — so an event
+// stamped with the current day is never late, even if it is the last event
+// of that day.
+type LatePolicy uint8
+
+const (
+	// LateReject treats a late event as a broken source and aborts the
+	// run — the strict contract every clean, day-ordered source satisfies.
+	// This is the default.
+	LateReject LatePolicy = iota
+	// LateDrop admits hostile and messy traffic: late events are dropped
+	// at admission, counted in Run.EventsDropped, and never reach the
+	// event store, the planner, or the budget ledgers. An event for an
+	// already-evicted epoch is necessarily late (eviction only passes day
+	// boundaries), so it takes the same drop path and can never resurrect
+	// evicted state. Drops are WAL-logged like ingests, so crash recovery
+	// replays the same admission decisions and the resume cursor stays
+	// exact.
+	LateDrop
+)
+
 // Config parameterizes one streaming service instance. The scenario knobs
 // (epoch length, window, budgets, calibration, bias) have the same meaning
 // as the batch engine's workload.Config; the service-only knobs tune the
@@ -88,6 +112,11 @@ type Config struct {
 	// is authorized per query at a population-wide filter and attribution
 	// is computed on the full data.
 	Central bool
+	// LatePolicy selects the admission rule for events whose day has
+	// already closed (LateReject aborts, LateDrop drops with a counter).
+	// The policy shapes which events the run admits, so it is part of the
+	// checkpoint scenario fingerprint.
+	LatePolicy LatePolicy
 
 	// QueueSize bounds the ingest queue (the backpressure window between
 	// the source and the day clock). 0 selects a default of 1024 events.
@@ -216,8 +245,14 @@ type Run struct {
 	// can touch.
 	FirstSpanEpoch, LastSpanEpoch events.Epoch
 
-	// EventsIngested counts events drained from the source.
+	// EventsIngested counts events drained from the source — accepted and
+	// dropped alike, so it is also the WAL sequence cursor and the resume
+	// skip count.
 	EventsIngested int
+	// EventsDropped counts late events dropped at admission under
+	// Config.LatePolicy == LateDrop (always 0 under LateReject, which
+	// aborts instead).
+	EventsDropped int
 	// PeakQueue is the deepest the ingest queue got — how close the
 	// service came to exerting backpressure.
 	PeakQueue int
@@ -437,24 +472,45 @@ func (s *Service) step(ev events.Event) error {
 		s.curDay = ev.Day
 		s.lastSnapDay = ev.Day
 	}
-	switch {
-	case ev.Day < s.curDay:
-		return fmt.Errorf("stream: source out of order: day %d after day %d",
-			ev.Day, s.curDay)
-	case ev.Day > s.curDay:
+	if ev.Day < s.curDay {
+		if s.cfg.LatePolicy != LateDrop {
+			return fmt.Errorf("stream: source out of order: day %d after day %d",
+				ev.Day, s.curDay)
+		}
+		// Late drop: the admission decision is durable — WAL-logged and
+		// counted against the drain cursor like an accepted event, so
+		// replay re-drops it at the same sequence number — but the event
+		// itself never touches the event store, the planner, or (for an
+		// evicted epoch) any state retention already reclaimed.
+		if err := s.logWAL(ev); err != nil {
+			return err
+		}
+		s.run.EventsIngested++
+		s.run.EventsDropped++
+		return s.fault(PointEventIngested)
+	}
+	if ev.Day > s.curDay {
 		if err := s.endOfDay(ev.Day); err != nil {
 			return err
 		}
 		s.curDay = ev.Day
 	}
-	if s.wal != nil && !s.replaying {
-		s.walBuf = encodeWALRecord(s.walBuf, s.run.EventsIngested, ev)
-		if err := s.wal.Append(s.walBuf); err != nil {
-			return err
-		}
+	if err := s.logWAL(ev); err != nil {
+		return err
 	}
 	s.ingest(ev)
 	return s.fault(PointEventIngested)
+}
+
+// logWAL appends one drained event to the write-ahead log on the live path
+// (no-op without durability or during replay), tagged with its drain
+// sequence number.
+func (s *Service) logWAL(ev events.Event) error {
+	if s.wal == nil || s.replaying {
+		return nil
+	}
+	s.walBuf = encodeWALRecord(s.walBuf, s.run.EventsIngested, ev)
+	return s.wal.Append(s.walBuf)
 }
 
 // ingest records one event and routes conversions to the planner.

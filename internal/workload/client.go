@@ -68,6 +68,9 @@ func ExecuteSource(cfg Config, src dataset.Source) (*Run, error) {
 		SnapshotEveryDays:    cfg.SnapshotEveryDays,
 		FaultHook:            cfg.FaultHook,
 	}
+	if cfg.DropLate {
+		scfg.LatePolicy = stream.LateDrop
+	}
 	switch cfg.System {
 	case IPALike:
 		scfg.Central = true
@@ -103,6 +106,8 @@ func runFromStream(cfg Config, srun *stream.Run) *Run {
 	r := &Run{
 		Config:         cfg,
 		TotalEpochs:    srun.TotalEpochs,
+		EventsIngested: srun.EventsIngested,
+		EventsDropped:  srun.EventsDropped,
 		fleet:          srun.Fleet,
 		totalConsumed:  srun.TotalConsumed,
 		firstSpanEpoch: srun.FirstSpanEpoch,

@@ -169,6 +169,57 @@ func (r *Run) PerPairAverages() []float64 {
 	return out
 }
 
+// ConsumedByQuerier returns each querier's total consumed privacy loss
+// summed across the device fleet — the per-querier budget footprint the
+// hostile-traffic reports break out. Devices accumulate in ascending ID
+// order and each device's epochs in ascending epoch order, so the float
+// sums are deterministic run-to-run. For IPA-like runs the central filter's
+// per-epoch consumption is charged to every device in the population,
+// mirroring PerPairAverages.
+func (r *Run) ConsumedByQuerier() map[events.Site]float64 {
+	out := make(map[events.Site]float64, len(r.Config.Dataset.Advertisers))
+	if r.Config.System == IPALike {
+		for _, adv := range r.Config.Dataset.Advertisers {
+			sum := 0.0
+			for e := r.firstSpanEpoch; e <= r.lastSpanEpoch; e++ {
+				sum += r.central.Consumed(adv.Site, e)
+			}
+			out[adv.Site] = sum * float64(r.Config.Dataset.PopulationDevices)
+		}
+		return out
+	}
+	r.fleet.Range(func(d *core.Device) bool {
+		for q, total := range d.ConsumedByQuerier() {
+			out[q] += total
+		}
+		return true
+	})
+	return out
+}
+
+// BudgetDenials returns the total number of budget charges denied across the
+// device fleet — how often traffic (honest or hostile) ran into filter
+// capacities. Always 0 for IPA-like runs, which reject whole queries at the
+// central filter instead of denying per-device charges.
+func (r *Run) BudgetDenials() uint64 {
+	if r.Config.System == IPALike {
+		return 0
+	}
+	var n uint64
+	r.fleet.Range(func(d *core.Device) bool {
+		n += d.BudgetDenials()
+		return true
+	})
+	return n
+}
+
+// RangeDevices visits every device the run instantiated, stopping early if
+// fn returns false — the inspection hook the robustness property tests use
+// to audit per-device ledgers (filter never over capacity, honest lanes
+// untouched by hostile queriers). Visit order is the fleet's shard order;
+// callers needing determinism sort what they collect.
+func (r *Run) RangeDevices(fn func(d *core.Device) bool) { r.fleet.Range(fn) }
+
 // ActiveDevices returns the number of devices that generated at least one
 // report.
 func (r *Run) ActiveDevices() int { return r.fleet.Len() }

@@ -22,6 +22,14 @@ type Run struct {
 	Results []QueryResult
 	// TotalEpochs is the number of epochs the trace spans.
 	TotalEpochs int
+	// EventsIngested counts the events the engine consumed: the whole
+	// trace for batch runs, events drained from the source (accepted and
+	// dropped alike) for streaming runs.
+	EventsIngested int
+	// EventsDropped counts late events dropped at admission by a
+	// streaming run under Config.DropLate (always 0 for batch runs, whose
+	// materialized trace has no arrival order to violate).
+	EventsDropped int
 
 	db        *events.Database
 	fleet     *core.Fleet
@@ -52,10 +60,11 @@ func Execute(cfg Config) (*Run, error) {
 		return nil, err
 	}
 	r := &Run{
-		Config:      cfg,
-		TotalEpochs: cfg.Dataset.Epochs(cfg.EpochDays),
-		db:          cfg.Dataset.Build(cfg.EpochDays),
-		requested:   make(map[devEpoch]map[events.Site]struct{}),
+		Config:         cfg,
+		TotalEpochs:    cfg.Dataset.Epochs(cfg.EpochDays),
+		EventsIngested: len(cfg.Dataset.Events),
+		db:             cfg.Dataset.Build(cfg.EpochDays),
+		requested:      make(map[devEpoch]map[events.Site]struct{}),
 	}
 	policy := cfg.PolicyOverride
 	if policy == nil {

@@ -93,6 +93,16 @@ type Config struct {
 	// ladder). Ignored for IPA-like. When nil, System picks the policy.
 	PolicyOverride core.LossPolicy
 
+	// DropLate selects the streaming service's drop-with-counter admission
+	// policy (stream.LateDrop) for events whose day has already closed:
+	// they are dropped and counted in Run.EventsDropped instead of
+	// aborting the run. The batch engine has no arrival clock — it plans
+	// over a materialized trace — so batch runs ignore this knob; the
+	// hostile-traffic equivalence harness (internal/scenario) compares a
+	// DropLate streaming run against a batch run over the pre-filtered
+	// accepted event set.
+	DropLate bool
+
 	// CheckpointDir enables the streaming service's crash safety: a
 	// write-ahead log of ingested events plus periodic snapshots in this
 	// directory (DESIGN.md §8). Streaming mode only; ignored by the batch
