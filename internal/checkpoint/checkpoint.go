@@ -28,6 +28,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sync"
 )
 
 const (
@@ -145,13 +146,23 @@ func ReadSnapshot(dir string) (payload []byte, ok bool, err error) {
 
 // WAL is an open write-ahead log. Appends are buffered in userspace and
 // reach the file at Sync (which also fsyncs), Close, or when the buffer
-// fills — group commit, in effect. Losing a buffered tail in a crash is
-// safe by protocol: recovery re-reads exactly the events the log is missing
-// from the source, because the resume cursor counts only replayed records.
-// A WAL is not safe for concurrent use — the day clock is its only writer.
+// fills. Losing a buffered tail in a crash is safe by protocol: recovery
+// re-reads exactly the events the log is missing from the source, because
+// the resume cursor counts only replayed records.
+//
+// The day clock is the only appender. With StartGroupCommit a background
+// syncer turns RequestSync into a batched, asynchronous fsync — group
+// commit — so the ingest thread never waits on the disk; its Sync errors
+// surface at the next RequestSync/Sync/Close.
 type WAL struct {
-	f *os.File
+	f File
 	w *bufio.Writer
+
+	// Group-commit syncer state: nil syncReq means synchronous mode.
+	syncReq chan struct{}
+	syncWG  sync.WaitGroup
+	errMu   sync.Mutex
+	syncErr error
 }
 
 // OpenWAL opens (creating if needed) dir's write-ahead log for appending.
@@ -161,7 +172,14 @@ func OpenWAL(dir string) (*WAL, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("checkpoint: creating %s: %w", dir, err)
 	}
-	f, err := os.OpenFile(WALPath(dir), os.O_CREATE|os.O_RDWR, 0o644)
+	return OpenWALFile(OsFS{}, WALPath(dir))
+}
+
+// OpenWALFile opens (creating if needed) a write-ahead log at path through
+// fsys — the FS-parameterized core of OpenWAL, used by the generation store
+// for its numbered WAL segments.
+func OpenWALFile(fsys FS, path string) (*WAL, error) {
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("checkpoint: opening wal: %w", err)
 	}
@@ -223,19 +241,86 @@ func (w *WAL) Append(payload []byte) error {
 	return nil
 }
 
-// Sync flushes buffered records to stable storage.
+// Sync flushes buffered records to stable storage, surfacing any pending
+// error from the background group-commit syncer.
 func (w *WAL) Sync() error {
 	if err := w.w.Flush(); err != nil {
 		return err
 	}
-	return w.f.Sync()
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	return w.takeSyncErr()
+}
+
+// StartGroupCommit launches the background syncer so RequestSync batches
+// fsyncs off the appending thread. Idempotent.
+func (w *WAL) StartGroupCommit() {
+	if w.syncReq != nil {
+		return
+	}
+	w.syncReq = make(chan struct{}, 1)
+	w.syncWG.Add(1)
+	go func() {
+		defer w.syncWG.Done()
+		for range w.syncReq {
+			if err := w.f.Sync(); err != nil {
+				w.errMu.Lock()
+				if w.syncErr == nil {
+					w.syncErr = err
+				}
+				w.errMu.Unlock()
+			}
+		}
+	}()
+}
+
+// RequestSync flushes buffered records to the file and asks the background
+// syncer for an fsync without waiting for it — one group commit. Several
+// requests arriving while a sync is in flight coalesce into the next one.
+// Without StartGroupCommit it degrades to a synchronous Sync. The returned
+// error includes any failure from earlier asynchronous syncs.
+func (w *WAL) RequestSync() error {
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	if w.syncReq == nil {
+		return w.f.Sync()
+	}
+	select {
+	case w.syncReq <- struct{}{}:
+	default: // a sync is already pending; it will cover these bytes
+	}
+	return w.takeSyncErr()
+}
+
+// stopSyncer drains and stops the group-commit goroutine, if running.
+func (w *WAL) stopSyncer() {
+	if w.syncReq == nil {
+		return
+	}
+	close(w.syncReq)
+	w.syncWG.Wait()
+	w.syncReq = nil
+}
+
+func (w *WAL) takeSyncErr() error {
+	w.errMu.Lock()
+	defer w.errMu.Unlock()
+	err := w.syncErr
+	w.syncErr = nil
+	return err
 }
 
 // Close flushes buffered records and closes the log file.
 func (w *WAL) Close() error {
+	w.stopSyncer()
 	err := w.w.Flush()
 	if cerr := w.f.Close(); err == nil {
 		err = cerr
+	}
+	if err == nil {
+		err = w.takeSyncErr()
 	}
 	return err
 }
@@ -246,7 +331,10 @@ func (w *WAL) Close() error {
 // crashes leave the log no more durable than real ones; recovery is
 // indifferent (the resume cursor counts only replayed records, and the
 // dropped events are re-read from the source).
-func (w *WAL) Abandon() error { return w.f.Close() }
+func (w *WAL) Abandon() error {
+	w.stopSyncer()
+	return w.f.Close()
+}
 
 // ResetWAL truncates dir's write-ahead log to empty — called right after a
 // snapshot commit, whose state subsumes every logged record. The truncation
@@ -289,7 +377,13 @@ func ResetWAL(dir string) error {
 // cleanly — that is what a crash mid-append looks like — but a corrupt
 // preamble is an ErrCorrupt error, and an error from fn aborts the replay.
 func ReplayWAL(dir string, fn func(payload []byte) error) (int, error) {
-	raw, err := os.ReadFile(WALPath(dir))
+	return ReplayWALFile(OsFS{}, WALPath(dir), fn)
+}
+
+// ReplayWALFile is ReplayWAL over an arbitrary FS and explicit path — the
+// core the generation store replays its numbered WAL segments through.
+func ReplayWALFile(fsys FS, path string, fn func(payload []byte) error) (int, error) {
+	raw, err := fsys.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
 		return 0, nil
 	}

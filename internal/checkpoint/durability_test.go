@@ -1,0 +1,342 @@
+// The durability property harness: random interleavings of ingest, delta
+// capture, base compaction, crashes, and injected disk faults (errfs) must
+// always converge to a run bit-identical to an undisturbed reference —
+// including the admission counters (LatePolicy drops) and the per-device
+// ledger denial counters that only exist because hostile traffic was
+// drained. This is the fault-matrix complement to sim_test.go's exhaustive
+// crash-at-every-point matrix: there the disk is honest and the crash
+// placement is exhaustive; here the crash placement is randomized and the
+// disk itself lies (short writes, failed fsyncs, torn renames, bit flips).
+package checkpoint_test
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/scenario"
+	"repro/internal/stream"
+	"repro/internal/workload"
+)
+
+// durabilitySpec is the hostile-traffic scenario the property runs under:
+// late re-delivery exercises the LatePolicy drop counters, the adversarial
+// querier exercises ledger denials — both state that must survive recovery.
+func durabilitySpec() scenario.Spec {
+	return scenario.Spec{
+		Name: "durability-property",
+		Seed: 7,
+		Late: &scenario.LateSpec{Fraction: 0.08, DelayDays: 3},
+		Adversary: &scenario.AdversarySpec{
+			Site:              "attacker.example",
+			TargetDevices:     6,
+			ConversionsPerDay: 4,
+			BatchSize:         50,
+			MaxValue:          1,
+			AvgReportValue:    2,
+		},
+	}
+}
+
+// durabilityCfg is the shared workload configuration (checkpoint knobs added
+// per run).
+func durabilityCfg(t *testing.T) (workload.Config, scenario.Spec, *workload.Run) {
+	t.Helper()
+	h, err := scenario.DefaultHarness()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := durabilitySpec()
+	base := h.Dataset
+	cfg := h.Config
+	cfg.Dataset = nil
+	cfg.DropLate = true
+	cfg.Parallelism = 4
+
+	ref, err := workload.ExecuteSource(cfg, spec.Source(base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.EventsDropped == 0 {
+		t.Fatal("reference run dropped nothing; the LatePolicy path is not exercised")
+	}
+	if ref.BudgetDenials() == 0 {
+		t.Fatal("reference run denied nothing; the ledger-denial path is not exercised")
+	}
+	h.Dataset = base
+	return cfg, spec, ref
+}
+
+// checkRun compares one recovered run against the reference on everything
+// the durability contract promises to preserve.
+func checkRun(t *testing.T, label string, ref, run *workload.Run) {
+	t.Helper()
+	if got, want := run.CanonicalDigest(), ref.CanonicalDigest(); got != want {
+		t.Errorf("%s: digest %s, want %s", label, got, want)
+		diffRuns(t, ref, run)
+	}
+	if run.EventsDropped != ref.EventsDropped {
+		t.Errorf("%s: %d dropped events, want %d", label, run.EventsDropped, ref.EventsDropped)
+	}
+	if got, want := run.BudgetDenials(), ref.BudgetDenials(); got != want {
+		t.Errorf("%s: %d ledger denials, want %d", label, got, want)
+	}
+}
+
+// diffRuns narrows a digest mismatch down to the fields that diverged, so
+// a failing interleaving reports what recovery got wrong rather than two
+// opaque hashes.
+func diffRuns(t *testing.T, ref, run *workload.Run) {
+	t.Helper()
+	t.Logf("diff: ingested %d vs %d, requested device-epochs %d vs %d, results %d vs %d",
+		ref.EventsIngested, run.EventsIngested,
+		ref.RequestedDeviceEpochs(), run.RequestedDeviceEpochs(),
+		len(ref.Results), len(run.Results))
+	refAvg, refMax := ref.BudgetStats()
+	runAvg, runMax := run.BudgetStats()
+	if refAvg != runAvg || refMax != runMax {
+		t.Logf("diff: budget avg/max %v/%v vs %v/%v", refAvg, refMax, runAvg, runMax)
+	}
+	n := len(ref.Results)
+	if len(run.Results) < n {
+		n = len(run.Results)
+	}
+	shown := 0
+	for i := 0; i < n && shown < 5; i++ {
+		a, b := ref.Results[i], run.Results[i]
+		if a != b {
+			t.Logf("diff: result %d: ref %+v vs run %+v", i, a, b)
+			shown++
+		}
+	}
+}
+
+// TestDurabilityPropertyRandomFaults is the property: for every seeded
+// placement of crashes and disk faults, bounded retries always land on a
+// completed run identical to the reference, in delta and full snapshot mode
+// alike. The fault budget (MaxFaults) guarantees termination: once spent,
+// the filesystem behaves and a crash-free attempt completes.
+func TestDurabilityPropertyRandomFaults(t *testing.T) {
+	cfg, spec, ref := durabilityCfg(t)
+	h, err := scenario.DefaultHarness()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := []uint64{1, 2, 3, 4, 5, 6}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	for _, mode := range []string{stream.SnapshotModeDelta, stream.SnapshotModeFull} {
+		for _, seed := range seeds {
+			seed := seed
+			t.Run(fmt.Sprintf("%s-seed-%d", mode, seed), func(t *testing.T) {
+				t.Parallel()
+				rng := rand.New(rand.NewSource(int64(seed)))
+				dir := t.TempDir()
+				ffs := checkpoint.NewFaultFS(nil, checkpoint.FaultSpec{
+					Seed:       seed,
+					MaxFaults:  4,
+					ShortWrite: 0.10,
+					FsyncFail:  0.10,
+					TornRename: 0.25,
+					BitFlip:    0.10,
+				})
+
+				attempt := func(n int, resume bool) (*workload.Run, error) {
+					run := cfg
+					run.CheckpointDir = dir
+					run.SnapshotEveryDays = 7
+					run.SnapshotMode = mode
+					run.BaseEveryDeltas = 2
+					run.KeepGenerations = 2
+					run.GroupCommitEvents = 64
+					run.DurableFS = ffs
+					run.Resume = resume
+					// The first few attempts also crash at a random firing
+					// of a random fault point; later attempts rely only on
+					// whatever disk faults remain in the budget.
+					if n < 5 {
+						point := stream.Points[rng.Intn(len(stream.Points))]
+						target := 1 + rng.Intn(120)
+						fired := 0
+						run.FaultHook = func(p stream.FaultPoint) error {
+							if p == point {
+								fired++
+								if fired == target {
+									return errInjected
+								}
+							}
+							return nil
+						}
+					}
+					return workload.ExecuteSource(run, spec.Source(h.Dataset))
+				}
+
+				const maxAttempts = 12
+				var run *workload.Run
+				var lastErr error
+				for n := 0; n < maxAttempts; n++ {
+					run, lastErr = attempt(n, n > 0)
+					if lastErr == nil {
+						break
+					}
+					// Every failure — injected crash or surfaced disk
+					// fault — is a legal interleaving; recovery must absorb
+					// it on a later attempt.
+					t.Logf("attempt %d: %v", n, lastErr)
+				}
+				if lastErr != nil {
+					t.Fatalf("no convergence after %d attempts: %v (faults injected: %d)",
+						maxAttempts, lastErr, ffs.Injected())
+				}
+				checkRun(t, fmt.Sprintf("mode %s seed %d", mode, seed), ref, run)
+			})
+		}
+	}
+}
+
+// TestCorruptWALSegmentRecovered pins the WAL half of the fallback
+// contract: a flipped bit in a retained WAL segment's preamble must not
+// make the directory unrecoverable. Replay stops at the corrupt segment as
+// if the log ended there, the source re-delivers the tail, and the skipped
+// segment is reported as a fallback.
+func TestCorruptWALSegmentRecovered(t *testing.T) {
+	cfg, spec, ref := durabilityCfg(t)
+	h, err := scenario.DefaultHarness()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+
+	crash := cfg
+	crash.CheckpointDir = dir
+	crash.SnapshotEveryDays = 7
+	fired := 0
+	crash.FaultHook = func(p stream.FaultPoint) error {
+		if p == stream.PointSnapshotCommitted {
+			fired++
+			if fired == 2 {
+				return errInjected
+			}
+		}
+		return nil
+	}
+	if _, err := workload.ExecuteSource(crash, spec.Source(h.Dataset)); !errors.Is(err, errInjected) {
+		t.Fatalf("crash run: %v", err)
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wals []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".log") {
+			wals = append(wals, e.Name())
+		}
+	}
+	if len(wals) == 0 {
+		t.Fatal("crash left no WAL segments to corrupt")
+	}
+	sort.Strings(wals)
+	path := filepath.Join(dir, wals[len(wals)-1])
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[0] ^= 1
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	resume := cfg
+	resume.CheckpointDir = dir
+	resume.SnapshotEveryDays = 7
+	resume.Resume = true
+	run, err := workload.ExecuteSource(resume, spec.Source(h.Dataset))
+	if err != nil {
+		t.Fatalf("resume over corrupt wal segment: %v", err)
+	}
+	checkRun(t, "corrupt wal resume", ref, run)
+	if run.Durability.RecoveryFallbacks == 0 {
+		t.Fatal("recovery skipped a corrupt WAL segment but reported no fallbacks")
+	}
+}
+
+// TestRecoveryFallbackReported pins the telemetry half of the contract
+// deterministically: corrupt the newest generation on disk after a crash
+// and the resumed run must both converge to the reference and report the
+// fallback it took in Run.Durability.RecoveryFallbacks.
+func TestRecoveryFallbackReported(t *testing.T) {
+	cfg, spec, ref := durabilityCfg(t)
+	h, err := scenario.DefaultHarness()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+
+	crash := cfg
+	crash.CheckpointDir = dir
+	crash.SnapshotEveryDays = 7
+	crash.BaseEveryDeltas = 4
+	fired := 0
+	crash.FaultHook = func(p stream.FaultPoint) error {
+		if p == stream.PointSnapshotCommitted {
+			fired++
+			if fired == 3 {
+				return errInjected
+			}
+		}
+		return nil
+	}
+	if _, err := workload.ExecuteSource(crash, spec.Source(h.Dataset)); !errors.Is(err, errInjected) {
+		t.Fatalf("crash run: %v", err)
+	}
+
+	// Flip a bit in every non-initial generation payload: recovery must
+	// refuse them all, fall back to what remains, and say so.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupted := 0
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".ckpt") || name == "base-00000001.ckpt" {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw[len(raw)-1] ^= 1
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		corrupted++
+	}
+	if corrupted == 0 {
+		t.Fatal("crash left no generations beyond the initial base to corrupt")
+	}
+
+	resume := cfg
+	resume.CheckpointDir = dir
+	resume.SnapshotEveryDays = 7
+	resume.BaseEveryDeltas = 4
+	resume.Resume = true
+	run, err := workload.ExecuteSource(resume, spec.Source(h.Dataset))
+	if err != nil {
+		t.Fatalf("resume over corrupt generations: %v", err)
+	}
+	checkRun(t, "fallback resume", ref, run)
+	if run.Durability.RecoveryFallbacks == 0 {
+		t.Fatalf("recovery skipped %d corrupt generations but reported no fallbacks", corrupted)
+	}
+}

@@ -1,0 +1,238 @@
+package checkpoint
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// FaultSpec configures the errfs-style fault injector. Each rate is the
+// per-operation probability of injecting that fault, drawn from a seeded
+// generator so a failing run replays exactly from its seed.
+type FaultSpec struct {
+	// Seed drives the fault generator; runs with equal seeds and equal
+	// operation sequences inject the same faults.
+	Seed uint64
+	// MaxFaults caps the total number of injected faults (0 = unlimited).
+	// Crash-loop tests use it to guarantee the run eventually completes:
+	// once the budget is spent the filesystem behaves perfectly.
+	MaxFaults int
+	// ShortWrite is the probability that a Write persists only a prefix
+	// of its buffer and reports an I/O error — a crashed write syscall.
+	ShortWrite float64
+	// FsyncFail is the probability that Sync reports failure. The data
+	// may or may not be durable, exactly as after a real fsync error.
+	FsyncFail float64
+	// TornRename is the probability that Rename leaves only a prefix of
+	// the source at the destination — a non-atomic rename interrupted by
+	// power loss. The corruption is silent: the caller sees success.
+	TornRename float64
+	// BitFlip is the probability that Close silently flips one bit at a
+	// seeded offset in the file — latent media corruption discovered
+	// only when the frame CRC is checked on read-back.
+	BitFlip float64
+}
+
+// FaultFS wraps an FS and injects disk faults per a FaultSpec. All methods
+// are safe for concurrent use (the WAL group-commit syncer calls Sync while
+// the ingest thread writes). Injection decisions consume a shared seeded
+// stream, so which operation faults depends on operation order — but the
+// recovery protocol must tolerate every placement, which is the point.
+type FaultFS struct {
+	base FS
+	spec FaultSpec
+
+	mu       sync.Mutex
+	rng      uint64
+	injected int
+}
+
+// NewFaultFS wraps base (nil = OsFS) with fault injection per spec.
+func NewFaultFS(base FS, spec FaultSpec) *FaultFS {
+	if base == nil {
+		base = OsFS{}
+	}
+	return &FaultFS{base: base, spec: spec, rng: spec.Seed}
+}
+
+// Injected reports how many faults have been injected so far.
+func (f *FaultFS) Injected() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected
+}
+
+// next advances the seeded stream (SplitMix64). Caller holds f.mu.
+func (f *FaultFS) next() uint64 {
+	f.rng += 0x9e3779b97f4a7c15
+	z := f.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// hit rolls the fault die for probability p, respecting the budget.
+func (f *FaultFS) hit(p float64) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if p <= 0 {
+		return false
+	}
+	if f.spec.MaxFaults > 0 && f.injected >= f.spec.MaxFaults {
+		return false
+	}
+	if float64(f.next()>>11)/(1<<53) >= p {
+		return false
+	}
+	f.injected++
+	return true
+}
+
+// draw returns a seeded value in [0, n). Caller must not hold f.mu.
+func (f *FaultFS) draw(n int64) int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if n <= 0 {
+		return 0
+	}
+	return int64(f.next() % uint64(n))
+}
+
+// OpenFile implements FS.
+func (f *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	file, err := f.base.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, f: file}, nil
+}
+
+// Rename implements FS, occasionally tearing the rename: the destination
+// receives only a prefix of the source, silently.
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if f.hit(f.spec.TornRename) {
+		data, err := f.base.ReadFile(oldpath)
+		if err != nil {
+			return f.base.Rename(oldpath, newpath)
+		}
+		torn := data[:f.draw(int64(len(data)+1))]
+		dst, err := f.base.OpenFile(newpath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+		if err != nil {
+			return err
+		}
+		if _, err := dst.Write(torn); err != nil {
+			dst.Close()
+			return err
+		}
+		if err := dst.Close(); err != nil {
+			return err
+		}
+		return f.base.Remove(oldpath)
+	}
+	return f.base.Rename(oldpath, newpath)
+}
+
+// Remove implements FS.
+func (f *FaultFS) Remove(name string) error { return f.base.Remove(name) }
+
+// ReadFile implements FS.
+func (f *FaultFS) ReadFile(name string) ([]byte, error) { return f.base.ReadFile(name) }
+
+// ReadDir implements FS.
+func (f *FaultFS) ReadDir(name string) ([]os.DirEntry, error) { return f.base.ReadDir(name) }
+
+// MkdirAll implements FS.
+func (f *FaultFS) MkdirAll(path string, perm os.FileMode) error {
+	return f.base.MkdirAll(path, perm)
+}
+
+// SyncDir implements FS.
+func (f *FaultFS) SyncDir(dir string) error {
+	if f.hit(f.spec.FsyncFail) {
+		return fmt.Errorf("errfs: injected directory fsync failure on %s", dir)
+	}
+	return f.base.SyncDir(dir)
+}
+
+// faultFile injects write/sync/close faults on one file. The mutex makes
+// Write and Sync safe to call concurrently, matching os.File semantics that
+// the WAL's background syncer relies on.
+type faultFile struct {
+	fs *FaultFS
+	mu sync.Mutex
+	f  File
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	ff.mu.Lock()
+	defer ff.mu.Unlock()
+	if ff.fs.hit(ff.fs.spec.ShortWrite) && len(p) > 0 {
+		n, _ := ff.f.Write(p[:len(p)/2])
+		return n, fmt.Errorf("errfs: injected short write (%d of %d bytes)", n, len(p))
+	}
+	return ff.f.Write(p)
+}
+
+func (ff *faultFile) Sync() error {
+	ff.mu.Lock()
+	defer ff.mu.Unlock()
+	if ff.fs.hit(ff.fs.spec.FsyncFail) {
+		return fmt.Errorf("errfs: injected fsync failure")
+	}
+	return ff.f.Sync()
+}
+
+// Close flips one bit at a seeded offset before closing when the BitFlip
+// fault fires — the write path never notices; only CRC validation on
+// read-back can.
+func (ff *faultFile) Close() error {
+	ff.mu.Lock()
+	defer ff.mu.Unlock()
+	if ff.fs.hit(ff.fs.spec.BitFlip) {
+		if info, err := ff.f.Stat(); err == nil && info.Size() > 0 {
+			off := ff.fs.draw(info.Size())
+			var b [1]byte
+			if _, err := ff.f.ReadAt(b[:], off); err == nil {
+				b[0] ^= 1 << uint(ff.fs.draw(8))
+				_, _ = ff.f.WriteAt(b[:], off)
+			}
+		}
+	}
+	return ff.f.Close()
+}
+
+func (ff *faultFile) Read(p []byte) (int, error) {
+	ff.mu.Lock()
+	defer ff.mu.Unlock()
+	return ff.f.Read(p)
+}
+
+func (ff *faultFile) Seek(offset int64, whence int) (int64, error) {
+	ff.mu.Lock()
+	defer ff.mu.Unlock()
+	return ff.f.Seek(offset, whence)
+}
+
+func (ff *faultFile) ReadAt(p []byte, off int64) (int, error) {
+	ff.mu.Lock()
+	defer ff.mu.Unlock()
+	return ff.f.ReadAt(p, off)
+}
+
+func (ff *faultFile) WriteAt(p []byte, off int64) (int, error) {
+	ff.mu.Lock()
+	defer ff.mu.Unlock()
+	return ff.f.WriteAt(p, off)
+}
+
+func (ff *faultFile) Truncate(size int64) error {
+	ff.mu.Lock()
+	defer ff.mu.Unlock()
+	return ff.f.Truncate(size)
+}
+
+func (ff *faultFile) Stat() (os.FileInfo, error) {
+	ff.mu.Lock()
+	defer ff.mu.Unlock()
+	return ff.f.Stat()
+}

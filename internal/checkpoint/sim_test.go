@@ -94,6 +94,11 @@ func checkpointedCfg(t *testing.T, w figures.Workload, parallelism int, dir stri
 	if bigWorkload(w.Name) {
 		cfg.SnapshotEveryDays = snapshotCadenceDaysBig
 	}
+	// Small group-commit and compaction knobs so every durability fault
+	// point (group-commit, delta-captured, base-compacted) fires several
+	// times per run and the crash matrix covers them.
+	cfg.GroupCommitEvents = 64
+	cfg.BaseEveryDeltas = 2
 	return cfg
 }
 

@@ -74,8 +74,19 @@ func (d *Device) ConsumedByQuerier() map[events.Site]float64 {
 
 // BudgetDenials returns the number of budget charges this device's ledger
 // has denied — how often queriers ran into the device's filter capacity.
-// Telemetry only; it is not part of the budget state.
+// The count never influences charge outcomes, but it is checkpointed (and
+// reinstated via RestoreBudgetDenials) so drain telemetry survives crashes.
 func (d *Device) BudgetDenials() uint64 { return d.ledger.Denials() }
+
+// RestoreBudgetDenials reinstates a checkpointed denial count (monotone:
+// the larger of snapshot and live value wins).
+func (d *Device) RestoreBudgetDenials(n uint64) { d.ledger.RestoreDenials(n) }
+
+// LedgerVersion returns the device ledger's mutation counter — the dirty
+// bit the incremental checkpointer compares against the version it last
+// captured. Equal versions guarantee the device's persisted budget state
+// (rows and denial count) is unchanged.
+func (d *Device) LedgerVersion() uint64 { return d.ledger.Version() }
 
 // RestoreBudgetRow sets one (querier, epoch) budget slot from persisted
 // state — the checkpoint/restore path into the device's flat ledger. It

@@ -46,6 +46,56 @@ type Database struct {
 	// per-record key columns (the bulk-load path defers them to Freeze);
 	// selector compilation falls back to interface dispatch until then.
 	deferredKeys bool
+	// dirty, when tracking is enabled, holds every (device, epoch) record
+	// touched since the last DrainDirty — the incremental checkpointer's
+	// record-level dirty set. nil when tracking is off, so the streaming
+	// ingest path pays nothing by default.
+	dirty map[DeviceEpochKey]struct{}
+}
+
+// DeviceEpochKey identifies one device-epoch record in the dirty set.
+type DeviceEpochKey struct {
+	Device DeviceID
+	Epoch  Epoch
+}
+
+// TrackDirty enables record-level dirty tracking: from now on every Record
+// or RecordAll marks its (device, epoch) key until DrainDirty collects it.
+// Only meaningful during the loading phase.
+func (db *Database) TrackDirty() {
+	if db.dirty == nil {
+		db.dirty = make(map[DeviceEpochKey]struct{})
+	}
+}
+
+// DrainDirty returns the keys dirtied since the last drain, sorted by
+// (device, epoch) for deterministic serialization, and resets the set.
+// Records evicted since they were dirtied are already pruned (EvictBefore
+// maintains the set), so every returned key is live.
+func (db *Database) DrainDirty() []DeviceEpochKey {
+	if len(db.dirty) == 0 {
+		return nil
+	}
+	keys := make([]DeviceEpochKey, 0, len(db.dirty))
+	for k := range db.dirty {
+		keys = append(keys, k)
+	}
+	clear(db.dirty)
+	slices.SortFunc(keys, func(a, b DeviceEpochKey) int {
+		switch {
+		case a.Device != b.Device:
+			if a.Device < b.Device {
+				return -1
+			}
+			return 1
+		case a.Epoch < b.Epoch:
+			return -1
+		case a.Epoch > b.Epoch:
+			return 1
+		}
+		return 0
+	})
+	return keys
 }
 
 // epochSegment holds one epoch's device records — the retention unit: the
@@ -89,6 +139,9 @@ func (db *Database) Record(epoch Epoch, ev Event) {
 	rec := seg.byDevice[ev.Device]
 	rec.insert(ev, &db.intern)
 	seg.byDevice[ev.Device] = rec
+	if db.dirty != nil {
+		db.dirty[DeviceEpochKey{ev.Device, epoch}] = struct{}{}
+	}
 }
 
 // segment returns (creating if needed) the epoch's segment. Caller has
@@ -179,6 +232,9 @@ func (db *Database) RecordAll(epochDays int, evs []Event) {
 			}
 		}
 		lastSeg.byDevice[first.Device] = rec
+		if db.dirty != nil {
+			db.dirty[DeviceEpochKey{first.Device, epoch}] = struct{}{}
+		}
 		i = j
 	}
 }
@@ -319,6 +375,11 @@ func (db *Database) EvictBefore(first Epoch) int {
 		if e < first {
 			removed += len(seg.byDevice)
 			delete(db.epochs, e)
+		}
+	}
+	for k := range db.dirty {
+		if k.Epoch < first {
+			delete(db.dirty, k)
 		}
 	}
 	return removed

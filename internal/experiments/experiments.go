@@ -43,6 +43,14 @@ type Options struct {
 	// SnapshotEveryDays is the snapshot cadence inside CheckpointDir
 	// (0 = WAL only during the run).
 	SnapshotEveryDays int
+	// SnapshotMode picks how the cadence persists state: "delta" (the
+	// default) writes only the lanes dirtied since the previous generation
+	// and compacts periodically; "full" serializes everything every tick
+	// (DESIGN.md §12).
+	SnapshotMode string
+	// GroupCommitEvents batches WAL fsyncs: the log is fsynced after this
+	// many appended events instead of once per append (0 = every append).
+	GroupCommitEvents int
 	// Resume restarts crashed runs from CheckpointDir's durable state:
 	// each run-i that already completed is replayed from its final
 	// snapshot, and the interrupted one recovers and continues. The run-i
@@ -66,6 +74,8 @@ func (o Options) run(cfg workload.Config) (*workload.Run, error) {
 		cfg.CheckpointDir = filepath.Join(o.CheckpointDir,
 			fmt.Sprintf("run-%d", runCounter.Add(1)-1))
 		cfg.SnapshotEveryDays = o.SnapshotEveryDays
+		cfg.SnapshotMode = o.SnapshotMode
+		cfg.GroupCommitEvents = o.GroupCommitEvents
 		cfg.Resume = o.Resume
 		return workload.ExecuteStream(cfg)
 	}

@@ -50,9 +50,16 @@ type Ledger struct {
 	lanes    map[string]*ledgerLane
 	// denials counts ChargeDenied outcomes over the ledger's lifetime —
 	// the budget-drain telemetry behind the hostile-traffic scenarios.
-	// Pure observability: it is not part of the budget state and is not
-	// persisted in snapshots.
+	// It never influences charge outcomes, but it is persisted in
+	// snapshots (and restored via RestoreDenials) so the drain telemetry
+	// survives crash recovery.
 	denials uint64
+	// version counts observable mutations — slot initializations, charges,
+	// denials, floor advances, restores. The incremental checkpointer
+	// compares it against the version it last captured to decide whether a
+	// device's ledger is dirty, so every path that can change Rows() or
+	// Denials() output must bump it.
+	version uint64
 	// capOv holds per-slot capacity overrides, populated only when Restore
 	// loads a snapshot row whose capacity differs from the ledger's. nil in
 	// every live-traffic ledger, so the hot path never consults it.
@@ -157,6 +164,9 @@ func (l *Ledger) capAt(q string, e int64) float64 {
 // chargeSlotLocked is the slot-level check-and-consume on an already-resolved
 // lane. Caller holds l.mu.
 func (l *Ledger) chargeSlotLocked(ln *ledgerLane, q string, e int64, eps float64) ChargeOutcome {
+	// Every path below mutates persisted state: a denial initializes the
+	// slot and counts, a success deducts.
+	l.version++
 	c := ln.slot(e)
 	if *c == untouchedSlot {
 		*c = 0
@@ -273,6 +283,30 @@ func (l *Ledger) Denials() uint64 {
 	return l.denials
 }
 
+// RestoreDenials reinstates a persisted denial count. The counter only ever
+// grows, so restore keeps the larger of the two — a fresh ledger takes the
+// snapshot's count, and replaying an old snapshot over live state never
+// loses denials.
+func (l *Ledger) RestoreDenials(n uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n > l.denials {
+		l.denials = n
+		l.version++
+	}
+}
+
+// Version returns the mutation counter: it advances on every observable
+// change to the ledger's persisted state (slot initializations, charges,
+// denials, floor advances, restores). The incremental checkpointer uses it
+// as the dirty bit — equal versions guarantee identical Rows() and
+// Denials() output.
+func (l *Ledger) Version() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.version
+}
+
 // Consumed returns the privacy loss consumed so far by querier q from epoch
 // e (0 if the slot was never touched or was recycled by a floor advance).
 func (l *Ledger) Consumed(q string, e int64) float64 {
@@ -366,6 +400,7 @@ func (l *Ledger) AdvanceFloor(floor int64) int {
 		return 0
 	}
 	l.floor = floor
+	l.version++
 	released := 0
 	for _, ln := range l.lanes {
 		if floor <= ln.base || len(ln.consumed) == 0 {
@@ -410,6 +445,7 @@ func (l *Ledger) Restore(q string, e int64, consumed, capacity float64) error {
 	if e < l.floor {
 		return fmt.Errorf("privacy: restoring evicted epoch %d below floor %d", e, l.floor)
 	}
+	l.version++
 	c := l.lane(q).slot(e)
 	if *c != untouchedSlot && *c > consumed {
 		return fmt.Errorf("privacy: restore would refund budget for %s epoch %d", q, e)

@@ -103,6 +103,16 @@ type Report struct {
 // errInjected is the sentinel the crash matrix's fault hooks return.
 var errInjected = errors.New("scenario: injected crash")
 
+// Small group-commit and base-compaction knobs for the checkpointed runs,
+// so every durability fault point (group-commit, delta-captured,
+// base-compacted) fires several times per scenario and the crash matrix
+// covers them. The counting run and every crash/resume run must share
+// these: the matrix crashes at firing counts measured on the counting run.
+const (
+	durableGroupCommitEvents = 64
+	durableBaseEveryDeltas   = 2
+)
+
 // streamCfg is the per-run streaming configuration: fresh Dataset-free
 // config (metadata comes from the scenario source), drop-late admission, the
 // requested parallelism.
@@ -302,6 +312,8 @@ func (h Harness) countFaultPoints(spec Spec, want string) (map[stream.FaultPoint
 	cfg := h.streamCfg(4)
 	cfg.CheckpointDir = dir
 	cfg.SnapshotEveryDays = h.snapshotCadence()
+	cfg.GroupCommitEvents = durableGroupCommitEvents
+	cfg.BaseEveryDeltas = durableBaseEveryDeltas
 	cfg.FaultHook = func(p stream.FaultPoint) error {
 		counts[p]++
 		return nil
@@ -330,6 +342,8 @@ func (h Harness) crashAndResume(spec Spec, point stream.FaultPoint, at int, want
 	cfg := h.streamCfg(4)
 	cfg.CheckpointDir = dir
 	cfg.SnapshotEveryDays = h.snapshotCadence()
+	cfg.GroupCommitEvents = durableGroupCommitEvents
+	cfg.BaseEveryDeltas = durableBaseEveryDeltas
 	cfg.FaultHook = func(p stream.FaultPoint) error {
 		if p == point {
 			seen++
@@ -350,6 +364,8 @@ func (h Harness) crashAndResume(spec Spec, point stream.FaultPoint, at int, want
 	rcfg := h.streamCfg(4)
 	rcfg.CheckpointDir = dir
 	rcfg.SnapshotEveryDays = h.snapshotCadence()
+	rcfg.GroupCommitEvents = durableGroupCommitEvents
+	rcfg.BaseEveryDeltas = durableBaseEveryDeltas
 	rcfg.Resume = true
 	run, err := workload.ExecuteSource(rcfg, spec.Source(h.Dataset))
 	if err != nil {

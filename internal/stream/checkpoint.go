@@ -3,6 +3,7 @@ package stream
 import (
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"slices"
@@ -12,12 +13,15 @@ import (
 	"repro/internal/events"
 )
 
-// Crash-safe checkpoint/restore for the streaming service (DESIGN.md §8).
+// Crash-safe checkpoint/restore for the streaming service (DESIGN.md §8,
+// §12).
 //
-// The durable state is a snapshot plus a write-ahead log, both owned by
-// internal/checkpoint's CRC-guarded formats:
+// The durable state is a chain of snapshot generations (a full base plus
+// incremental deltas, see delta.go) and numbered write-ahead-log segments,
+// all owned by internal/checkpoint's CRC-guarded formats:
 //
-//   - The snapshot captures the service's complete state at a day boundary:
+//   - A full snapshot captures the service's complete state at a day
+//     boundary:
 //     every device's budget-ledger lanes, the fleet's retention floor, the
 //     live device-epoch records of the event store, the incremental
 //     planner's cursor (per-stream pending conversions, sequence numbers,
@@ -42,8 +46,10 @@ import (
 // snapSchemaVersion guards the snapshot payload layout (the file framing has
 // its own version, checkpoint.FormatVersion). v2: event blobs switched from
 // the row codec to the columnar events.MarshalEvents layout — a v1 snapshot
-// must be refused up front, not fed to the incompatible decoder.
-const snapSchemaVersion = 2
+// must be refused up front, not fed to the incompatible decoder. v3: devices
+// carry their ledger denial counters, so the budget-drain telemetry survives
+// recovery, and snapshots may be deltas folded over a base generation.
+const snapSchemaVersion = 3
 
 // snapConfig is the scenario fingerprint stored in every snapshot. Resuming
 // under a different scenario would silently diverge from the original run,
@@ -97,6 +103,10 @@ func (s *Service) snapConfig() snapConfig {
 type deviceState struct {
 	ID    uint64 `json:"id"`
 	Slots []byte `json:"slots,omitempty"`
+	// Denials is the device ledger's lifetime denial counter — pure
+	// telemetry, but telemetry the hostile-traffic scenarios assert on, so
+	// it must survive recovery like any other state.
+	Denials uint64 `json:"denials,omitempty"`
 }
 
 // encodeSlots packs a device's ledger rows: u32 count, then per slot a
@@ -351,10 +361,10 @@ func decodeWALRecord(rec []byte) (seq int, ev events.Event, err error) {
 	return seq, ev, err
 }
 
-// Checkpoint writes a snapshot of the service's full current state to dir
-// with atomic rename-commit. The service must be at a quiescent point — no
-// day flush in progress (Serve takes snapshots itself at day boundaries via
-// Config.SnapshotEveryDays; call Checkpoint directly only before Serve
+// Checkpoint commits a full snapshot of the service's current state as a
+// fresh base generation in dir. The service must be at a quiescent point —
+// no day flush in progress (Serve takes snapshots itself at day boundaries
+// via Config.SnapshotEveryDays; call Checkpoint directly only before Serve
 // starts or after it returns).
 func (s *Service) Checkpoint(dir string) error {
 	if len(s.due) != 0 {
@@ -364,64 +374,43 @@ func (s *Service) Checkpoint(dir string) error {
 	if err != nil {
 		return fmt.Errorf("stream: encoding snapshot: %w", err)
 	}
-	return checkpoint.WriteSnapshot(dir, payload)
+	st := s.store
+	if st == nil || dir != s.cfg.CheckpointDir {
+		st = checkpoint.NewStore(dir, s.cfg.DurableFS)
+	}
+	gen, err := st.MaxGen()
+	if err != nil {
+		return err
+	}
+	gen++
+	fp, err := st.WriteBase(gen, payload)
+	if err != nil {
+		return err
+	}
+	if st == s.store {
+		s.headGen, s.headFP = gen, fp
+		if s.nextGen <= gen {
+			s.nextGen = gen + 1
+		}
+	}
+	return nil
 }
 
-// snapshot captures the service state. Caller guarantees quiescence.
+// snapshot captures the complete service state. Caller guarantees
+// quiescence.
 func (s *Service) snapshot() *snapState {
-	snap := &snapState{
-		Schema:         snapSchemaVersion,
-		Config:         s.snapConfig(),
-		CurDay:         s.curDay,
-		Started:        s.started,
-		EventsIngested: s.run.EventsIngested,
-		EventsDropped:  s.run.EventsDropped,
-		NextIndex:      s.nextIndex,
-		EvictFloor:     int32(s.evictFloor),
-		LastSnapDay:    s.lastSnapDay,
-
-		NonceFloor: uint64(core.NonceFloor()),
-		AggNoise:   s.aggNoise.State(),
-
-		FleetFloor: int32(s.fleet.EpochFloor()),
-
-		TotalConsumed:       math.Float64bits(s.run.TotalConsumed),
-		PeakQueue:           s.run.PeakQueue,
-		PeakResidentRecords: s.run.PeakResidentRecords,
-		EvictedRecords:      s.run.EvictedRecords,
-		RetiredNonces:       s.run.RetiredNonces,
-		ReleasedFilters:     s.run.ReleasedFilters,
-	}
-
-	watermark, seen := s.agg.SnapshotNonces()
-	snap.AggWatermark = uint64(watermark)
-	for _, n := range seen {
-		snap.AggSeen = append(snap.AggSeen, uint64(n))
-	}
-	if s.ipaNoise != nil {
-		st := s.ipaNoise.State()
-		snap.IPANoise = &st
-	}
+	snap := s.scalarSnap()
 
 	// Fleet: every created device (even ones with no initialized slots —
 	// device existence is itself state) with its sorted ledger rows.
 	s.fleet.Range(func(d *core.Device) bool {
 		snap.Devices = append(snap.Devices, deviceState{
-			ID:    uint64(d.ID()),
-			Slots: encodeSlots(d.Ledger()),
+			ID:      uint64(d.ID()),
+			Slots:   encodeSlots(d.Ledger()),
+			Denials: d.BudgetDenials(),
 		})
 		return true
 	})
-
-	if s.central != nil {
-		for _, row := range s.central.Rows() {
-			snap.Central = append(snap.Central, centralState{
-				Querier:  string(row.Querier),
-				Epoch:    int32(row.Epoch),
-				Consumed: math.Float64bits(row.Consumed),
-			})
-		}
-	}
 
 	// Event store: live device-epoch records in deterministic order.
 	for _, dev := range s.db.Devices() {
@@ -459,8 +448,68 @@ func (s *Service) snapshot() *snapState {
 		return 0
 	})
 
-	for _, res := range s.run.Results {
-		snap.Results = append(snap.Results, resultState{
+	snap.Results = appendResultStates(nil, s.run.Results)
+	if s.run.Requested != nil {
+		snap.Requested = encodeRequested(s.run.Requested)
+	}
+	return snap
+}
+
+// scalarSnap captures everything a snapshot carries whole regardless of
+// representation: the day clock, cursors, telemetry accumulators, noise
+// streams, replay protection, and the central budgeter. Shared by full
+// snapshots and deltas, so the two can never disagree on the scalars.
+func (s *Service) scalarSnap() *snapState {
+	snap := &snapState{
+		Schema:         snapSchemaVersion,
+		Config:         s.snapConfig(),
+		CurDay:         s.curDay,
+		Started:        s.started,
+		EventsIngested: s.run.EventsIngested,
+		EventsDropped:  s.run.EventsDropped,
+		NextIndex:      s.nextIndex,
+		EvictFloor:     int32(s.evictFloor),
+		LastSnapDay:    s.lastSnapDay,
+
+		NonceFloor: uint64(core.NonceFloor()),
+		AggNoise:   s.aggNoise.State(),
+
+		FleetFloor: int32(s.fleet.EpochFloor()),
+
+		TotalConsumed:       math.Float64bits(s.run.TotalConsumed),
+		PeakQueue:           s.run.PeakQueue,
+		PeakResidentRecords: s.run.PeakResidentRecords,
+		EvictedRecords:      s.run.EvictedRecords,
+		RetiredNonces:       s.run.RetiredNonces,
+		ReleasedFilters:     s.run.ReleasedFilters,
+	}
+
+	watermark, seen := s.agg.SnapshotNonces()
+	snap.AggWatermark = uint64(watermark)
+	for _, n := range seen {
+		snap.AggSeen = append(snap.AggSeen, uint64(n))
+	}
+	if s.ipaNoise != nil {
+		st := s.ipaNoise.State()
+		snap.IPANoise = &st
+	}
+
+	if s.central != nil {
+		for _, row := range s.central.Rows() {
+			snap.Central = append(snap.Central, centralState{
+				Querier:  string(row.Querier),
+				Epoch:    int32(row.Epoch),
+				Consumed: math.Float64bits(row.Consumed),
+			})
+		}
+	}
+	return snap
+}
+
+// appendResultStates converts released results to their persisted form.
+func appendResultStates(dst []resultState, results []Result) []resultState {
+	for _, res := range results {
+		dst = append(dst, resultState{
 			Querier:        string(res.Querier),
 			Product:        res.Product,
 			Index:          res.Index,
@@ -479,20 +528,31 @@ func (s *Service) snapshot() *snapState {
 			AvgBudgetAfter: math.Float64bits(res.AvgBudgetAfter),
 		})
 	}
-
-	if s.run.Requested != nil {
-		snap.Requested = encodeRequested(s.run.Requested)
-	}
-	return snap
+	return dst
 }
 
-// ResumeFrom rebuilds a service from dir's durable state: it restores the
-// committed snapshot (if any), replays the write-ahead log through the
+// errReplayGap stops WAL replay cleanly when a record's sequence number
+// jumps past the ingest cursor — a mid-chain segment lost records to
+// corruption (bit-flip, lost tail). Everything from the cursor on is
+// re-read from the deterministic source instead.
+var errReplayGap = errors.New("stream: wal sequence gap")
+
+// ResumeFrom rebuilds a service from dir's durable state: it loads the
+// newest intact base generation, folds its delta chain into a full
+// snapshot, restores it, and replays the retained WAL segments through the
 // ordinary ingest path — re-executing any day flush the log crosses, with
 // the restored ledger and noise-stream state, so the re-execution is
-// bit-identical to what the crashed process computed — and returns a
-// service whose Serve will skip the source prefix the durable state already
-// covers and continue live from there.
+// bit-identical to what the crashed process computed. The returned
+// service's Serve skips the source prefix the durable state already covers
+// and continues live from there.
+//
+// Recovery never serves corrupt state and never fails on it either:
+// generations that fail their frame or chain checks are skipped (falling
+// back to the newest intact base below them), a WAL sequence gap stops
+// replay cleanly, and in the worst case — nothing intact at all — the run
+// restarts from the source. Every such downgrade is counted in
+// Run.Durability.RecoveryFallbacks. Only a genuine mismatch (a snapshot
+// from a different scenario) is an error.
 //
 // cfg must describe the same scenario as the original run (ResumeFrom
 // verifies the snapshot's config fingerprint) with the source positioned at
@@ -502,26 +562,43 @@ func ResumeFrom(cfg Config, dir string) (*Service, error) {
 	if err != nil {
 		return nil, err
 	}
-	payload, ok, err := checkpoint.ReadSnapshot(dir)
+	st := checkpoint.NewStore(dir, s.cfg.DurableFS)
+	s.store = st
+	chain, fallbacks, err := st.LoadChain()
 	if err != nil {
 		return nil, err
 	}
-	if ok {
-		var snap snapState
-		if err := json.Unmarshal(payload, &snap); err != nil {
-			return nil, fmt.Errorf("stream: decoding snapshot: %w", err)
-		}
-		if err := s.restore(&snap); err != nil {
+	restored := false
+	if chain != nil {
+		folded, err := foldChain(chain.Payloads)
+		if err != nil {
 			return nil, err
 		}
+		if err := s.restore(folded); err != nil {
+			return nil, err
+		}
+		s.headGen, s.headFP = chain.Gen, chain.FP
+		restored = true
+	}
+	maxGen, err := st.MaxGen()
+	if err != nil {
+		return nil, err
+	}
+	s.nextGen = maxGen + 1
+
+	// Dirty tracking goes live before replay: the mutations replay makes
+	// are exactly what the first post-recovery delta must capture.
+	if s.cfg.CheckpointDir != "" && s.cfg.SnapshotMode == SnapshotModeDelta {
+		s.resetDirtyTracking()
 	}
 
-	// Replay the WAL through the normal ingest path. Records at sequence
-	// numbers the snapshot already covers (a crash between snapshot commit
-	// and WAL rotation leaves them behind) are skipped by the cursor.
+	// Replay the retained WAL segments through the normal ingest path.
+	// Records at sequence numbers the snapshot already covers (segments
+	// rotated before the chain head was captured, or a crash between
+	// commit and rotation) are skipped by the cursor.
 	s.replaying = true
 	var replayed int
-	replayed, err = checkpoint.ReplayWAL(dir, func(rec []byte) error {
+	replayed, err = st.ReplayWALSegments(func(rec []byte) error {
 		seq, ev, err := decodeWALRecord(rec)
 		if err != nil {
 			return err
@@ -530,21 +607,32 @@ func ResumeFrom(cfg Config, dir string) (*Service, error) {
 		case seq < s.run.EventsIngested:
 			return nil // already in the snapshot
 		case seq > s.run.EventsIngested:
-			return fmt.Errorf("stream: wal gap: record %d after %d ingested",
-				seq, s.run.EventsIngested)
+			return errReplayGap
 		}
 		return s.step(ev)
 	})
 	s.replaying = false
+	if errors.Is(err, errReplayGap) || errors.Is(err, checkpoint.ErrCorrupt) {
+		// Clean stop: the durable state ends at the cursor; Serve re-reads
+		// the rest from the source. A corrupt segment (a flipped preamble
+		// bit, a record that fails to decode) ends the durable log exactly
+		// like a torn tail — everything past it is re-delivered by the
+		// source and re-applied deterministically, so refusing to start
+		// would turn one lost tail into a permanently unrecoverable
+		// directory. The skipped tail is reported as a fallback.
+		fallbacks++
+		err = nil
+	}
 	if err != nil {
 		return nil, err
 	}
+	s.run.Durability.RecoveryFallbacks = fallbacks
 	s.skip = s.run.EventsIngested
 	// An empty directory holds no run to continue: leave resumed unset so
 	// Serve initializes it as a fresh run (a Serve-owned directory always
-	// carries a fingerprinted snapshot from the very start, so a later
+	// carries a fingerprinted base from the very start, so a later
 	// ResumeFrom can check the scenario even before any cadence snapshot).
-	s.resumed = ok || replayed > 0
+	s.resumed = restored || replayed > 0
 	return s, nil
 }
 
@@ -601,6 +689,7 @@ func (s *Service) restore(snap *snapState) error {
 		if err != nil {
 			return fmt.Errorf("stream: device %d: %w", ds.ID, err)
 		}
+		d.RestoreBudgetDenials(ds.Denials)
 	}
 	if len(snap.Central) > 0 && s.central == nil {
 		return fmt.Errorf("stream: snapshot has central filters but run is on-device")

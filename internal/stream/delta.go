@@ -1,0 +1,268 @@
+package stream
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"slices"
+
+	"repro/internal/core"
+	"repro/internal/events"
+)
+
+// Delta snapshots (DESIGN.md §12). A cadence tick no longer serializes the
+// whole service: the service tracks which state changed since the previous
+// capture — device ledgers by mutation version, event-store records and
+// planner streams by dirty set, results by high-water mark — and captures
+// only that, chained to its parent generation by fingerprint. mergeSnap is
+// the single definition of what a delta means: folding a chain's payloads in
+// order reproduces, bit for bit, the full snapshot the service would have
+// written at the head capture.
+
+// resetDirtyTracking arms the dirty trackers with the current state as the
+// baseline: the next captureDelta reports exactly what changes after this
+// call. On a resume it must run after restore() and before WAL replay, so
+// replay-era mutations land in the first post-recovery delta.
+func (s *Service) resetDirtyTracking() {
+	s.db.TrackDirty()
+	s.db.DrainDirty()
+	s.plan.trackDirty()
+	if s.run.Requested != nil {
+		s.dirtyReq = make(map[DevEpoch]struct{})
+	}
+	s.ledgerVers = make(map[events.DeviceID]uint64)
+	s.fleet.Range(func(d *core.Device) bool {
+		s.ledgerVers[d.ID()] = d.LedgerVersion()
+		return true
+	})
+	s.resultsMark = len(s.run.Results)
+}
+
+// captureDelta builds the dirty-state snapshot since the previous capture
+// and advances the baselines. Scalars, the central budgeter, and the
+// replay-protection set are captured whole — they are small and change
+// every day; the sections that dominate snapshot bytes carry only what
+// changed. The returned state is self-contained (every slice freshly
+// encoded), so the background writer can serialize it while ingest runs.
+func (s *Service) captureDelta() *snapState {
+	snap := s.scalarSnap()
+
+	// Devices whose ledger mutated since the last capture, or are new.
+	s.fleet.Range(func(d *core.Device) bool {
+		v := d.LedgerVersion()
+		if last, ok := s.ledgerVers[d.ID()]; ok && last == v {
+			return true
+		}
+		s.ledgerVers[d.ID()] = v
+		snap.Devices = append(snap.Devices, deviceState{
+			ID:      uint64(d.ID()),
+			Slots:   encodeSlots(d.Ledger()),
+			Denials: d.BudgetDenials(),
+		})
+		return true
+	})
+
+	for _, key := range s.db.DrainDirty() {
+		snap.Records = append(snap.Records, recordState{
+			Device: uint64(key.Device),
+			Epoch:  int32(key.Epoch),
+			Events: events.MarshalEvents(s.db.EpochEvents(key.Device, key.Epoch)),
+		})
+	}
+
+	for _, key := range s.plan.drainDirty() {
+		st := s.plan.streams[key]
+		snap.Streams = append(snap.Streams, streamSnap{
+			Site:    string(key.site),
+			Product: key.product,
+			Epsilon: math.Float64bits(st.epsilon),
+			Seq:     st.seq,
+			Capped:  st.capped,
+			Pending: events.MarshalEvents(st.pending),
+		})
+	}
+
+	snap.Results = appendResultStates(nil, s.run.Results[s.resultsMark:])
+	s.resultsMark = len(s.run.Results)
+
+	if s.run.Requested != nil && len(s.dirtyReq) > 0 {
+		sub := make(map[DevEpoch]map[events.Site]struct{}, len(s.dirtyReq))
+		for key := range s.dirtyReq {
+			if m, ok := s.run.Requested[key]; ok {
+				sub[key] = m
+			}
+		}
+		snap.Requested = encodeRequested(sub)
+		clear(s.dirtyReq)
+	}
+	return snap
+}
+
+// mergeSnap folds one delta over its parent snapshot: scalars and the
+// whole-captured sections come from the delta, keyed sections overlay the
+// parent's entries, and results append. Records at epochs below the delta's
+// eviction floor are dropped from both sides — the merged state must not
+// resurrect evicted records. Recovery and the background writer's base
+// compaction share this fold, so the two representations cannot drift.
+func mergeSnap(base, delta *snapState) (*snapState, error) {
+	out := new(snapState)
+	*out = *delta
+
+	out.Devices = overlayDevices(base.Devices, delta.Devices)
+	out.Records = overlayRecords(base.Records, delta.Records, delta.EvictFloor)
+	out.Streams = overlayStreams(base.Streams, delta.Streams)
+	out.Results = append(base.Results, delta.Results...)
+
+	switch {
+	case len(base.Requested) == 0:
+		out.Requested = delta.Requested
+	case len(delta.Requested) == 0:
+		out.Requested = base.Requested
+	default:
+		m := make(map[DevEpoch]map[events.Site]struct{})
+		if err := decodeRequested(base.Requested, m); err != nil {
+			return nil, err
+		}
+		if err := decodeRequested(delta.Requested, m); err != nil {
+			return nil, err
+		}
+		out.Requested = encodeRequested(m)
+	}
+	return out, nil
+}
+
+// overlayDevices merges device rows by ID, the delta's winning.
+func overlayDevices(base, delta []deviceState) []deviceState {
+	if len(base) == 0 {
+		return delta
+	}
+	if len(delta) == 0 {
+		return base
+	}
+	byID := make(map[uint64]int, len(base))
+	merged := base
+	for i, d := range merged {
+		byID[d.ID] = i
+	}
+	for _, d := range delta {
+		if i, ok := byID[d.ID]; ok {
+			merged[i] = d
+		} else {
+			byID[d.ID] = len(merged)
+			merged = append(merged, d)
+		}
+	}
+	slices.SortFunc(merged, func(a, b deviceState) int {
+		switch {
+		case a.ID < b.ID:
+			return -1
+		case a.ID > b.ID:
+			return 1
+		}
+		return 0
+	})
+	return merged
+}
+
+// overlayRecords merges event-store records by (device, epoch), the delta's
+// winning, and drops epochs the delta's eviction floor has passed.
+func overlayRecords(base, delta []recordState, evictFloor int32) []recordState {
+	type key struct {
+		dev   uint64
+		epoch int32
+	}
+	byKey := make(map[key]int, len(base)+len(delta))
+	merged := make([]recordState, 0, len(base)+len(delta))
+	for _, lists := range [][]recordState{base, delta} {
+		for _, rec := range lists {
+			if rec.Epoch < evictFloor {
+				continue
+			}
+			k := key{rec.Device, rec.Epoch}
+			if i, ok := byKey[k]; ok {
+				merged[i] = rec
+			} else {
+				byKey[k] = len(merged)
+				merged = append(merged, rec)
+			}
+		}
+	}
+	slices.SortFunc(merged, func(a, b recordState) int {
+		switch {
+		case a.Device != b.Device:
+			if a.Device < b.Device {
+				return -1
+			}
+			return 1
+		case a.Epoch < b.Epoch:
+			return -1
+		case a.Epoch > b.Epoch:
+			return 1
+		}
+		return 0
+	})
+	return merged
+}
+
+// overlayStreams merges planner cursors by (site, product), the delta's
+// winning.
+func overlayStreams(base, delta []streamSnap) []streamSnap {
+	if len(base) == 0 {
+		return delta
+	}
+	if len(delta) == 0 {
+		return base
+	}
+	type key struct{ site, product string }
+	byKey := make(map[key]int, len(base))
+	merged := base
+	for i, ss := range merged {
+		byKey[key{ss.Site, ss.Product}] = i
+	}
+	for _, ss := range delta {
+		k := key{ss.Site, ss.Product}
+		if i, ok := byKey[k]; ok {
+			merged[i] = ss
+		} else {
+			byKey[k] = len(merged)
+			merged = append(merged, ss)
+		}
+	}
+	slices.SortFunc(merged, func(a, b streamSnap) int {
+		switch {
+		case a.Site != b.Site:
+			if a.Site < b.Site {
+				return -1
+			}
+			return 1
+		case a.Product < b.Product:
+			return -1
+		case a.Product > b.Product:
+			return 1
+		}
+		return 0
+	})
+	return merged
+}
+
+// foldChain decodes a generation chain's payloads (base first, then each
+// delta in chain order) and folds them into one full snapshot.
+func foldChain(payloads [][]byte) (*snapState, error) {
+	var folded *snapState
+	for i, payload := range payloads {
+		snap := new(snapState)
+		if err := json.Unmarshal(payload, snap); err != nil {
+			return nil, fmt.Errorf("stream: decoding chain generation %d: %w", i, err)
+		}
+		if folded == nil {
+			folded = snap
+			continue
+		}
+		var err error
+		folded, err = mergeSnap(folded, snap)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return folded, nil
+}

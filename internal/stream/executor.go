@@ -133,6 +133,9 @@ func (s *Service) markRequested(dev events.DeviceID, q events.Site, first, last 
 			s.run.Requested[key] = m
 		}
 		m[q] = struct{}{}
+		if s.dirtyReq != nil {
+			s.dirtyReq[key] = struct{}{}
+		}
 	}
 }
 

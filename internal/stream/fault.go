@@ -32,10 +32,25 @@ const (
 	// PointRetentionAdvanced fires after the retention horizon moved:
 	// event records evicted, and (Lean mode) device filters released.
 	PointRetentionAdvanced FaultPoint = "retention-advanced"
-	// PointSnapshotCommitted fires after a cadence snapshot was committed
-	// and the WAL rotated — crashing here must resume from the snapshot
-	// just written.
+	// PointSnapshotCommitted fires when a snapshot generation's durable
+	// commit is observed by the day clock (the background writer's result
+	// is harvested) — crashing here must resume from the generation just
+	// written.
 	PointSnapshotCommitted FaultPoint = "snapshot-committed"
+	// PointDeltaCaptured fires after the day clock captured the dirty
+	// state for a snapshot generation and rotated the WAL, before the
+	// background writer has durably committed it — crashing here must
+	// recover from the previous generation plus the rotated log.
+	PointDeltaCaptured FaultPoint = "delta-captured"
+	// PointBaseCompacted fires when a base compaction's durable commit is
+	// observed: the delta chain was folded into a fresh base and
+	// superseded generations collected.
+	PointBaseCompacted FaultPoint = "base-compacted"
+	// PointGroupCommit fires after a WAL group commit was requested: the
+	// buffered records reached the file and the background syncer was
+	// signalled. The records are not yet guaranteed durable — which is
+	// exactly the regime recovery must tolerate.
+	PointGroupCommit FaultPoint = "group-commit"
 )
 
 // Points lists every registered fault point — the crash-point matrix the
@@ -47,6 +62,9 @@ var Points = []FaultPoint{
 	PointDayFlushed,
 	PointRetentionAdvanced,
 	PointSnapshotCommitted,
+	PointDeltaCaptured,
+	PointBaseCompacted,
+	PointGroupCommit,
 }
 
 // FaultHook observes a state transition. Returning a non-nil error makes

@@ -1,6 +1,8 @@
 package stream
 
 import (
+	"sort"
+
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/events"
@@ -55,6 +57,10 @@ type planner struct {
 	maxQueries int
 	cal        privacy.Calibration
 	fixedEps   float64
+	// dirty, when non-nil, collects the streams mutated since the last
+	// incremental checkpoint drained it (nil when the service is not
+	// delta-checkpointing, so the hot path pays nothing).
+	dirty map[streamKey]struct{}
 }
 
 func newPlanner(meta dataset.Meta, cal privacy.Calibration, fixedEps float64, maxQueries int) *planner {
@@ -93,6 +99,9 @@ func (p *planner) add(conv events.Event) *pendingQuery {
 	if st.capped {
 		return nil
 	}
+	if p.dirty != nil {
+		p.dirty[key] = struct{}{}
+	}
 	st.pending = append(st.pending, conv)
 	if len(st.pending) < adv.BatchSize {
 		return nil
@@ -111,6 +120,32 @@ func (p *planner) add(conv events.Event) *pendingQuery {
 		st.capped = true
 	}
 	return q
+}
+
+// trackDirty enables (and clears) dirty-stream tracking: every stream
+// mutated after this call is reported by the next drainDirty.
+func (p *planner) trackDirty() {
+	p.dirty = make(map[streamKey]struct{})
+}
+
+// drainDirty returns the streams mutated since tracking was last enabled or
+// drained, sorted by (site, product), and clears the set.
+func (p *planner) drainDirty() []streamKey {
+	if len(p.dirty) == 0 {
+		return nil
+	}
+	keys := make([]streamKey, 0, len(p.dirty))
+	for key := range p.dirty {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].site != keys[j].site {
+			return keys[i].site < keys[j].site
+		}
+		return keys[i].product < keys[j].product
+	})
+	clear(p.dirty)
+	return keys
 }
 
 // minPendingDay returns the earliest day among buffered conversions across

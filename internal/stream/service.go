@@ -37,9 +37,11 @@
 package stream
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"runtime"
+	"time"
 
 	"repro/internal/aggregation"
 	"repro/internal/budget"
@@ -134,16 +136,52 @@ type Config struct {
 	// a final snapshot on completion. ResumeFrom rebuilds a service from
 	// the directory after a crash. Empty disables durability.
 	CheckpointDir string
-	// SnapshotEveryDays commits a full snapshot (and rotates the WAL) at
-	// every N-th completed day while serving. 0 keeps only the WAL during
-	// the run — recovery then replays from the stream's beginning (or the
-	// last explicit Checkpoint). Ignored without CheckpointDir.
+	// SnapshotEveryDays commits a snapshot generation (and rotates the WAL
+	// to a fresh segment) at every N-th completed day while serving. 0
+	// keeps only the WAL during the run — recovery then replays from the
+	// stream's beginning (or the last explicit Checkpoint). Ignored
+	// without CheckpointDir.
 	SnapshotEveryDays int
+	// SnapshotMode selects the cadence snapshot representation:
+	// SnapshotModeDelta (the default) captures only the state dirtied
+	// since the previous generation, chained to it by fingerprint, with
+	// periodic base compaction; SnapshotModeFull captures the complete
+	// state every time. Restores are bit-identical either way. Ignored
+	// without CheckpointDir.
+	SnapshotMode string
+	// BaseEveryDeltas folds the delta chain into a fresh base after this
+	// many deltas (default 8). Ignored in full mode.
+	BaseEveryDeltas int
+	// KeepGenerations retains the newest K intact base generations (with
+	// the deltas and WAL segments above them) at GC time (default 2).
+	KeepGenerations int
+	// GroupCommitEvents, when positive, batches WAL fsyncs into group
+	// commits: after this many appended events the service flushes the log
+	// and signals a background syncer instead of fsyncing inline, so the
+	// ingest thread never waits on the disk. 0 syncs only at day
+	// boundaries and snapshot rotations, as before.
+	GroupCommitEvents int
+	// GroupCommitBytes, when positive, additionally requests a group
+	// commit once this many WAL bytes accumulate — whichever threshold
+	// trips first.
+	GroupCommitBytes int
+	// DurableFS overrides the filesystem the checkpoint store and WAL
+	// segments go through — the disk-fault injection seam
+	// (checkpoint.NewFaultFS). nil selects the real filesystem. Like
+	// Parallelism, it cannot change what a run computes, only whether its
+	// durable writes fail.
+	DurableFS checkpoint.FS
 	// FaultHook, when non-nil, observes every state transition (see
 	// FaultPoint) and can return an error to simulate a crash there. Test
 	// instrumentation; nil in production.
 	FaultHook FaultHook
 }
+
+// Snapshot representations for Config.SnapshotMode.
+const (
+	SnapshotModeDelta = "delta"
+	SnapshotModeFull  = "full"
+)
 
 // withDefaults fills zero values.
 func (c Config) withDefaults() Config {
@@ -168,6 +206,15 @@ func (c Config) withDefaults() Config {
 	if c.Policy == nil && !c.Central {
 		c.Policy = core.CookieMonsterPolicy{}
 	}
+	if c.SnapshotMode == "" {
+		c.SnapshotMode = SnapshotModeDelta
+	}
+	if c.BaseEveryDeltas == 0 {
+		c.BaseEveryDeltas = 8
+	}
+	if c.KeepGenerations == 0 {
+		c.KeepGenerations = 2
+	}
 	return c
 }
 
@@ -189,6 +236,14 @@ func (c Config) validate() error {
 		return fmt.Errorf("stream: negative snapshot cadence")
 	case c.SnapshotEveryDays > 0 && c.CheckpointDir == "":
 		return fmt.Errorf("stream: snapshot cadence without checkpoint directory")
+	case c.SnapshotMode != SnapshotModeDelta && c.SnapshotMode != SnapshotModeFull:
+		return fmt.Errorf("stream: unknown snapshot mode %q", c.SnapshotMode)
+	case c.BaseEveryDeltas < 0:
+		return fmt.Errorf("stream: negative base compaction cadence")
+	case c.KeepGenerations < 0:
+		return fmt.Errorf("stream: negative generation retention")
+	case c.GroupCommitEvents < 0 || c.GroupCommitBytes < 0:
+		return fmt.Errorf("stream: negative group-commit threshold")
 	}
 	return nil
 }
@@ -267,6 +322,43 @@ type Run struct {
 	RetiredNonces int
 	// ReleasedFilters counts device filters reclaimed in Lean mode.
 	ReleasedFilters int
+
+	// Durability is the run's checkpoint/WAL telemetry (zero without
+	// Config.CheckpointDir). It is observability only — never part of the
+	// durable state or the equivalence digests.
+	Durability DurabilityStats
+}
+
+// DurabilityStats measures the durability machinery's cost and behaviour
+// over one run.
+type DurabilityStats struct {
+	// SnapshotCaptures counts cadence snapshot captures (delta or full).
+	SnapshotCaptures int
+	// MaxSnapshotStall is the longest the ingest thread was paused by one
+	// cadence tick: harvesting the previous generation's commit, capturing
+	// state, and rotating the WAL. The serialized write itself happens off
+	// the ingest thread and does not stall it.
+	MaxSnapshotStall time.Duration
+	// MaxCaptureStall is the capture-and-rotate portion of the worst tick,
+	// excluding the wait for the background writer's previous commit. The
+	// difference between the two maxima is writer backpressure (commits or
+	// compactions outrunning the cadence), not capture cost.
+	MaxCaptureStall time.Duration
+	// DeltaBytes and BaseBytes total the serialized snapshot payload bytes
+	// committed by kind (bases include initial, compacted, and final).
+	DeltaBytes int64
+	BaseBytes  int64
+	// BaseCompactions counts delta chains folded into fresh bases.
+	BaseCompactions int
+	// GroupCommits counts asynchronous WAL group commits; GroupCommitBytes
+	// and MaxGroupCommitBytes total and bound the bytes per batch.
+	GroupCommits        int
+	GroupCommitBytes    int64
+	MaxGroupCommitBytes int
+	// RecoveryFallbacks counts the downgrades recovery took on the way to
+	// intact state: generation files skipped as unusable plus WAL replays
+	// stopped at a sequence gap. 0 on a clean resume.
+	RecoveryFallbacks int
 }
 
 // Service is the online measurement service. Create one with New, then
@@ -302,6 +394,27 @@ type Service struct {
 	wal         *checkpoint.WAL
 	walBuf      []byte // reused WAL record encoding buffer
 	lastSnapDay int
+	// store is the generation store; headGen/headFP identify the chain
+	// head new deltas link onto, and nextGen numbers the next generation
+	// or WAL segment (monotonic across kinds, never reused).
+	store   *checkpoint.Store
+	headGen uint64
+	headFP  uint32
+	nextGen uint64
+	// writer commits captured snapshots off the ingest thread; snapPending
+	// marks an enqueued capture whose result has not been harvested yet.
+	writer      *snapWriter
+	snapPending bool
+	// gcEvents/gcBytes accumulate WAL appends toward the next group
+	// commit.
+	gcEvents int
+	gcBytes  int
+	// Dirty-state baselines for delta capture (delta.go): per-device
+	// ledger versions, requested-accounting keys touched, and the results
+	// high-water mark since the previous capture.
+	ledgerVers  map[events.DeviceID]uint64
+	dirtyReq    map[DevEpoch]struct{}
+	resultsMark int
 	// skip counts source events already covered by the restored durable
 	// state; Serve discards that prefix before going live (the source
 	// delivers events in a deterministic order, so skip-by-count is exact).
@@ -374,25 +487,22 @@ func New(cfg Config) (*Service, error) {
 // clock goes live.
 func (s *Service) Serve() (run *Run, err error) {
 	if s.cfg.CheckpointDir != "" {
-		if !s.resumed {
-			// A fresh run owns the directory: commit an initial snapshot
-			// (whose scenario fingerprint every later ResumeFrom must
-			// match, even before the first cadence snapshot) and truncate
-			// any stale WAL, so leftovers from a previous run can never
-			// leak into this one's recovery.
-			if err := s.Checkpoint(s.cfg.CheckpointDir); err != nil {
-				return nil, err
-			}
-			if err := checkpoint.ResetWAL(s.cfg.CheckpointDir); err != nil {
-				return nil, err
-			}
-		}
-		wal, err := checkpoint.OpenWAL(s.cfg.CheckpointDir)
-		if err != nil {
+		if err := s.openDurability(); err != nil {
 			return nil, err
 		}
-		s.wal = wal
 		defer func() {
+			if s.writer != nil {
+				// The writer goroutine must not outlive the service. On
+				// error paths an in-flight commit is simply allowed to
+				// land — one of the legal outcomes of the crash being
+				// simulated — and its result discarded.
+				if s.snapPending {
+					<-s.writer.results
+					s.snapPending = false
+				}
+				s.writer.close()
+				s.writer = nil
+			}
 			if s.wal == nil {
 				return
 			}
@@ -403,8 +513,8 @@ func (s *Service) Serve() (run *Run, err error) {
 			var fe *FaultError
 			if errors.As(err, &fe) {
 				s.wal.Abandon()
-			} else {
-				s.wal.Close()
+			} else if cerr := s.wal.Close(); cerr != nil && err == nil {
+				run, err = nil, cerr
 			}
 			s.wal = nil
 		}()
@@ -449,18 +559,138 @@ func (s *Service) Serve() (run *Run, err error) {
 		}
 	}
 	if s.wal != nil {
-		// Final commit: the completed run's full state, subsuming the WAL.
+		// Final commit: harvest any in-flight generation, sync the log (so
+		// a crash during the final base write still recovers everything),
+		// then write the completed run's full state as a fresh base and
+		// collect the generations it supersedes.
+		if err := s.harvestSnap(); err != nil {
+			return nil, err
+		}
 		if err := s.wal.Sync(); err != nil {
 			return nil, err
 		}
-		if err := s.Checkpoint(s.cfg.CheckpointDir); err != nil {
+		payload, err := json.Marshal(s.snapshot())
+		if err != nil {
+			return nil, fmt.Errorf("stream: encoding snapshot: %w", err)
+		}
+		gen := s.nextGen
+		s.nextGen++
+		fp, err := s.store.WriteBase(gen, payload)
+		if err != nil {
 			return nil, err
 		}
-		if err := checkpoint.ResetWAL(s.cfg.CheckpointDir); err != nil {
+		s.headGen, s.headFP = gen, fp
+		s.run.Durability.BaseBytes += int64(len(payload))
+		if err := s.store.GC(s.cfg.KeepGenerations); err != nil {
 			return nil, err
 		}
 	}
 	return s.run, nil
+}
+
+// openDurability prepares the generation store, the initial base (fresh
+// runs), the WAL segment, and the background writer for one Serve.
+func (s *Service) openDurability() error {
+	if s.store == nil {
+		s.store = checkpoint.NewStore(s.cfg.CheckpointDir, s.cfg.DurableFS)
+	}
+	walGen := s.nextGen
+	if !s.resumed {
+		// A fresh run owns the directory: clear leftovers from any
+		// previous run and commit an initial base whose scenario
+		// fingerprint every later ResumeFrom must match, even before the
+		// first cadence snapshot.
+		if err := s.store.Reset(); err != nil {
+			return err
+		}
+		payload, err := json.Marshal(s.snapshot())
+		if err != nil {
+			return fmt.Errorf("stream: encoding snapshot: %w", err)
+		}
+		fp, err := s.store.WriteBase(1, payload)
+		if err != nil {
+			return err
+		}
+		s.headGen, s.headFP = 1, fp
+		s.run.Durability.BaseBytes += int64(len(payload))
+		// The initial base and its WAL segment share generation 1: the
+		// segment holds exactly the events ingested after that capture.
+		walGen, s.nextGen = 1, 2
+		if s.cfg.SnapshotMode == SnapshotModeDelta {
+			s.resetDirtyTracking()
+		}
+	} else {
+		// A resumed run appends to a segment number no crashed process
+		// ever wrote — an old segment's tail may be torn, and recovery
+		// already accounted for exactly what is durable in it.
+		s.nextGen++
+		if s.headGen == 0 {
+			// Recovery refused every generation on disk and rebuilt state
+			// from WAL replay and the source alone. Re-anchor the chain
+			// with a fresh full base: deltas need an intact parent, and
+			// the next recovery must not depend on a second full replay.
+			payload, err := json.Marshal(s.snapshot())
+			if err != nil {
+				return fmt.Errorf("stream: encoding snapshot: %w", err)
+			}
+			fp, err := s.store.WriteBase(walGen, payload)
+			if err != nil {
+				return err
+			}
+			s.headGen, s.headFP = walGen, fp
+			s.run.Durability.BaseBytes += int64(len(payload))
+			// The re-anchor base subsumes everything recovery replayed, so
+			// the dirty marks taken before replay are stale: without a
+			// reset the first delta would re-carry state the base already
+			// holds, and append-only sections (Results) would duplicate on
+			// fold.
+			if s.cfg.SnapshotMode == SnapshotModeDelta {
+				s.resetDirtyTracking()
+			}
+		}
+	}
+	wal, err := s.store.OpenWALSegment(walGen)
+	if err != nil {
+		return err
+	}
+	s.wal = wal
+	if s.cfg.GroupCommitEvents > 0 || s.cfg.GroupCommitBytes > 0 {
+		s.wal.StartGroupCommit()
+	}
+	s.writer = newSnapWriter(s.store, s.cfg.BaseEveryDeltas, s.cfg.KeepGenerations)
+	return nil
+}
+
+// harvestSnap waits for the background writer's in-flight commit, if any,
+// folds its telemetry into the run, and fires the commit fault points.
+func (s *Service) harvestSnap() error {
+	if s.writer == nil || !s.snapPending {
+		return nil
+	}
+	res := <-s.writer.results
+	s.snapPending = false
+	if res.err != nil {
+		return res.err
+	}
+	s.headGen, s.headFP = res.gen, res.fp
+	if res.base {
+		s.run.Durability.BaseBytes += int64(res.bytes)
+	} else {
+		s.run.Durability.DeltaBytes += int64(res.bytes)
+	}
+	if res.compacted {
+		s.run.Durability.BaseCompactions++
+		s.run.Durability.BaseBytes += int64(res.compactBytes)
+	}
+	if err := s.fault(PointSnapshotCommitted); err != nil {
+		return err
+	}
+	if res.compacted {
+		if err := s.fault(PointBaseCompacted); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // step advances the day clock for one event and applies it — the single
@@ -504,13 +734,37 @@ func (s *Service) step(ev events.Event) error {
 
 // logWAL appends one drained event to the write-ahead log on the live path
 // (no-op without durability or during replay), tagged with its drain
-// sequence number.
+// sequence number. With group commit configured, crossing either threshold
+// flushes the batch and signals the background syncer instead of fsyncing
+// inline.
 func (s *Service) logWAL(ev events.Event) error {
 	if s.wal == nil || s.replaying {
 		return nil
 	}
 	s.walBuf = encodeWALRecord(s.walBuf, s.run.EventsIngested, ev)
-	return s.wal.Append(s.walBuf)
+	if err := s.wal.Append(s.walBuf); err != nil {
+		return err
+	}
+	if s.cfg.GroupCommitEvents <= 0 && s.cfg.GroupCommitBytes <= 0 {
+		return nil
+	}
+	s.gcEvents++
+	s.gcBytes += len(s.walBuf) + 8
+	if (s.cfg.GroupCommitEvents > 0 && s.gcEvents >= s.cfg.GroupCommitEvents) ||
+		(s.cfg.GroupCommitBytes > 0 && s.gcBytes >= s.cfg.GroupCommitBytes) {
+		if err := s.wal.RequestSync(); err != nil {
+			return err
+		}
+		d := &s.run.Durability
+		d.GroupCommits++
+		d.GroupCommitBytes += int64(s.gcBytes)
+		if s.gcBytes > d.MaxGroupCommitBytes {
+			d.MaxGroupCommitBytes = s.gcBytes
+		}
+		s.gcEvents, s.gcBytes = 0, 0
+		return s.fault(PointGroupCommit)
+	}
+	return nil
 }
 
 // ingest records one event and routes conversions to the planner.
@@ -548,37 +802,66 @@ func (s *Service) endOfDay(nextDay int) error {
 		if err := s.rotateCheckpoint(); err != nil {
 			return err
 		}
-		if err := s.fault(PointSnapshotCommitted); err != nil {
-			return err
-		}
 	}
 	return nil
 }
 
-// rotateCheckpoint commits a snapshot of the current state and starts a
-// fresh WAL. Order matters for crash safety: sync the old log (so a crash
-// mid-rotation can still replay it), commit the snapshot, then truncate —
-// a crash between the last two steps leaves snapshot + stale log, whose
-// subsumed records the replay cursor skips.
+// rotateCheckpoint is the cadence tick: harvest the previous generation's
+// commit, capture this one (dirty state in delta mode, everything in full
+// mode), rotate the WAL to the capture's numbered segment, and hand the
+// capture to the background writer. Only the capture and rotation pause
+// ingest — serialization and fsync happen off the ingest thread.
+//
+// Order matters for crash safety: the old segment syncs before the capture
+// is enqueued, so by the time the new generation can exist on disk, every
+// event below its cursor is durable. A crash leaves either the old state
+// (recover from the previous generation, replaying the synced segment) or
+// both the generation and the stale records (the replay cursor skips the
+// overlap) — never a generation whose history is missing.
 func (s *Service) rotateCheckpoint() error {
-	if err := s.wal.Sync(); err != nil {
+	start := time.Now()
+	if err := s.harvestSnap(); err != nil {
 		return err
 	}
-	if err := s.Checkpoint(s.cfg.CheckpointDir); err != nil {
+	capStart := time.Now()
+	gen := s.nextGen
+	s.nextGen++
+	job := snapJob{gen: gen, parentFP: s.headFP}
+	if s.cfg.SnapshotMode == SnapshotModeFull {
+		job.base = true
+		job.snap = s.snapshot()
+	} else {
+		job.snap = s.captureDelta()
+	}
+	s.run.Durability.SnapshotCaptures++
+	if err := s.wal.Sync(); err != nil {
 		return err
 	}
 	if err := s.wal.Close(); err != nil {
 		return err
 	}
 	s.wal = nil
-	if err := checkpoint.ResetWAL(s.cfg.CheckpointDir); err != nil {
-		return err
-	}
-	wal, err := checkpoint.OpenWAL(s.cfg.CheckpointDir)
+	wal, err := s.store.OpenWALSegment(gen)
 	if err != nil {
 		return err
 	}
 	s.wal = wal
+	if s.cfg.GroupCommitEvents > 0 || s.cfg.GroupCommitBytes > 0 {
+		s.wal.StartGroupCommit()
+	}
+	s.gcEvents, s.gcBytes = 0, 0
+	now := time.Now()
+	if stall := now.Sub(start); stall > s.run.Durability.MaxSnapshotStall {
+		s.run.Durability.MaxSnapshotStall = stall
+	}
+	if stall := now.Sub(capStart); stall > s.run.Durability.MaxCaptureStall {
+		s.run.Durability.MaxCaptureStall = stall
+	}
+	if err := s.fault(PointDeltaCaptured); err != nil {
+		return err
+	}
+	s.writer.enqueue(job)
+	s.snapPending = true
 	return nil
 }
 

@@ -66,6 +66,12 @@ func ExecuteSource(cfg Config, src dataset.Source) (*Run, error) {
 		MaxQueriesPerProduct: cfg.MaxQueriesPerProduct,
 		CheckpointDir:        cfg.CheckpointDir,
 		SnapshotEveryDays:    cfg.SnapshotEveryDays,
+		SnapshotMode:         cfg.SnapshotMode,
+		BaseEveryDeltas:      cfg.BaseEveryDeltas,
+		KeepGenerations:      cfg.KeepGenerations,
+		GroupCommitEvents:    cfg.GroupCommitEvents,
+		GroupCommitBytes:     cfg.GroupCommitBytes,
+		DurableFS:            cfg.DurableFS,
 		FaultHook:            cfg.FaultHook,
 	}
 	if cfg.DropLate {
@@ -108,6 +114,7 @@ func runFromStream(cfg Config, srun *stream.Run) *Run {
 		TotalEpochs:    srun.TotalEpochs,
 		EventsIngested: srun.EventsIngested,
 		EventsDropped:  srun.EventsDropped,
+		Durability:     srun.Durability,
 		fleet:          srun.Fleet,
 		totalConsumed:  srun.TotalConsumed,
 		firstSpanEpoch: srun.FirstSpanEpoch,

@@ -30,6 +30,10 @@ type Run struct {
 	// streaming run under Config.DropLate (always 0 for batch runs, whose
 	// materialized trace has no arrival order to violate).
 	EventsDropped int
+	// Durability is the streaming run's checkpoint/WAL telemetry (zero
+	// for batch runs and for streaming runs without a checkpoint
+	// directory). Observability only — never part of CanonicalDigest.
+	Durability stream.DurabilityStats
 
 	db        *events.Database
 	fleet     *core.Fleet

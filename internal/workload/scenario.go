@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"runtime"
 
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/events"
@@ -111,6 +112,26 @@ type Config struct {
 	// SnapshotEveryDays sets the snapshot cadence inside CheckpointDir
 	// (0 = WAL only, with snapshots at run start/end).
 	SnapshotEveryDays int
+	// SnapshotMode selects the cadence snapshot representation —
+	// stream.SnapshotModeDelta (dirty state chained by fingerprint, the
+	// default) or stream.SnapshotModeFull. Restores are bit-identical
+	// either way.
+	SnapshotMode string
+	// BaseEveryDeltas folds the delta chain into a fresh base after this
+	// many deltas (0 = the stream default). Ignored in full mode.
+	BaseEveryDeltas int
+	// KeepGenerations retains the newest K intact snapshot generations at
+	// GC time (0 = the stream default).
+	KeepGenerations int
+	// GroupCommitEvents and GroupCommitBytes batch WAL fsyncs into group
+	// commits once either threshold trips (0 = sync only at day boundaries
+	// and snapshot rotations).
+	GroupCommitEvents int
+	GroupCommitBytes  int
+	// DurableFS overrides the filesystem under the checkpoint store — the
+	// disk-fault injection seam (checkpoint.NewFaultFS). nil selects the
+	// real filesystem.
+	DurableFS checkpoint.FS
 	// Resume restarts a crashed streaming run from CheckpointDir's durable
 	// state instead of starting fresh. The resumed run's results are
 	// bit-identical to an uninterrupted run of the same configuration.
