@@ -1,0 +1,403 @@
+// Command measured runs the measurement service as a network server and
+// benchmarks it (DESIGN.md §13).
+//
+// Usage:
+//
+//	measured serve  -addr HOST:PORT (-trace FILE | -workload NAME | -population N -duration D) [scenario/durability flags]
+//	measured bench  [-target URL] (-trace FILE | -workload NAME) [-senders N -rps R -batch B -warmup F -out BENCH_serve.json]
+//	measured export -workload NAME [-out FILE]
+//
+// serve boots an HTTP/JSON front door over the streaming service: devices
+// POST impression/conversion events to /v1/events, queriers register on
+// /v1/queries and poll /v1/results. SIGTERM (and SIGINT) trigger a
+// graceful drain: the bounded ingest queue empties through the service,
+// the group-commit syncer flushes, and — when -checkpoint-dir is set — a
+// final snapshot generation commits so -resume continues the run exactly
+// where it stopped.
+//
+// bench drives a server with the load generator (internal/loadgen):
+// N concurrent senders at a configurable aggregate request rate, with
+// warm-up, reporting p50/p95/p99 ingest and query-poll latency plus
+// sustained throughput into a BENCH_serve.json rows file. Without
+// -target it boots an in-process server on a loopback port first.
+//
+// export writes a cataloged figure workload (internal/figures) as a
+// trace file — the workload interchange format serve and bench consume.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/figures"
+	"repro/internal/loadgen"
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "serve":
+		err = cmdServe(os.Args[2:])
+	case "bench":
+		err = cmdBench(os.Args[2:])
+	case "export":
+		err = cmdExport(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "measured: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "measured: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  measured serve  -addr HOST:PORT (-trace FILE | -workload NAME | -population N -duration D) [flags]
+  measured bench  [-target URL] (-trace FILE | -workload NAME) [flags]
+  measured export -workload NAME [-out FILE]`)
+}
+
+// scenarioFlags registers the workload-scenario and durability flags every
+// server (in-process or standalone) shares, mirroring cmd/cookiemonster.
+type scenarioFlags struct {
+	system        *string
+	epsilonG      *float64
+	seed          *uint64
+	parallel      *int
+	epochDays     *int
+	windowDays    *int
+	checkpointDir *string
+	snapshotEvery *int
+	snapshotMode  *string
+	groupCommit   *int
+	resume        *bool
+}
+
+func registerScenarioFlags(fs *flag.FlagSet) *scenarioFlags {
+	return &scenarioFlags{
+		system:   fs.String("system", "cookie-monster", "budgeting system: cookie-monster, ara-like or ipa-like"),
+		epsilonG: fs.Float64("epsilon-g", 2, "per-epoch budget capacity"),
+		seed:     fs.Uint64("seed", 7, "aggregation noise seed"),
+		parallel: fs.Int("parallel", 0,
+			"report-generation workers per batch (0 = GOMAXPROCS, 1 = sequential; results are identical)"),
+		epochDays:  fs.Int("epoch-days", 0, "on-device epoch length in days (0 = default 7)"),
+		windowDays: fs.Int("window-days", 0, "attribution window in days (0 = default 30)"),
+		checkpointDir: fs.String("checkpoint-dir", "",
+			"make the run crash-safe: persist a write-ahead log and snapshots under this directory"),
+		snapshotEvery: fs.Int("snapshot-every", 7,
+			"snapshot cadence in days inside -checkpoint-dir (0 = WAL only)"),
+		snapshotMode: fs.String("snapshot-mode", "delta",
+			"cadence snapshot representation inside -checkpoint-dir: delta or full"),
+		groupCommit: fs.Int("group-commit-interval", 0,
+			"batch WAL fsyncs inside -checkpoint-dir: fsync after this many appended events (0 = every append)"),
+		resume: fs.Bool("resume", false,
+			"recover the run from -checkpoint-dir's durable state and continue serving"),
+	}
+}
+
+func (sf *scenarioFlags) config() (workload.Config, error) {
+	cfg := workload.Config{
+		EpsilonG:          *sf.epsilonG,
+		Seed:              *sf.seed,
+		Parallelism:       *sf.parallel,
+		EpochDays:         *sf.epochDays,
+		WindowDays:        *sf.windowDays,
+		CheckpointDir:     *sf.checkpointDir,
+		SnapshotEveryDays: *sf.snapshotEvery,
+		SnapshotMode:      *sf.snapshotMode,
+		GroupCommitEvents: *sf.groupCommit,
+		Resume:            *sf.resume,
+	}
+	if cfg.CheckpointDir == "" {
+		cfg.SnapshotEveryDays = 0
+		cfg.GroupCommitEvents = 0
+	}
+	switch *sf.system {
+	case "cookie-monster":
+		cfg.System = workload.CookieMonster
+	case "ara-like":
+		cfg.System = workload.ARALike
+	case "ipa-like":
+		cfg.System = workload.IPALike
+	default:
+		return cfg, fmt.Errorf("unknown -system %q (want cookie-monster, ara-like or ipa-like)", *sf.system)
+	}
+	if cfg.Resume && cfg.CheckpointDir == "" {
+		return cfg, fmt.Errorf("-resume requires -checkpoint-dir")
+	}
+	return cfg, nil
+}
+
+// loadMeta resolves the served trace identity from -trace / -workload /
+// explicit population+duration flags. A trace or cataloged workload also
+// pre-registers its queriers; the bare form leaves registration to the
+// API. The dataset return is non-nil only when events are available
+// locally (bench needs them; serve only needs the metadata).
+func loadMeta(tracePath, workloadName, name string, population, duration int) (dataset.Meta, *dataset.Dataset, error) {
+	switch {
+	case tracePath != "" && workloadName != "":
+		return dataset.Meta{}, nil, fmt.Errorf("-trace and -workload are mutually exclusive")
+	case tracePath != "":
+		ds, err := dataset.OpenTrace(tracePath)
+		if err != nil {
+			return dataset.Meta{}, nil, err
+		}
+		return ds.Meta(), ds, nil
+	case workloadName != "":
+		w, err := figures.ByName(workloadName)
+		if err != nil {
+			return dataset.Meta{}, nil, err
+		}
+		cfg, err := w.Config()
+		if err != nil {
+			return dataset.Meta{}, nil, err
+		}
+		return cfg.Dataset.Meta(), cfg.Dataset, nil
+	case population > 0 && duration > 0:
+		if name == "" {
+			name = "served"
+		}
+		return dataset.Meta{Name: name, PopulationDevices: population, DurationDays: duration}, nil, nil
+	default:
+		return dataset.Meta{}, nil, fmt.Errorf("need -trace, -workload, or -population and -duration")
+	}
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("measured serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	tracePath := fs.String("trace", "", "trace file whose header fixes the trace identity and queriers")
+	workloadName := fs.String("workload", "", "cataloged figure workload to take the trace identity from")
+	name := fs.String("name", "", "trace name when -population/-duration are given")
+	population := fs.Int("population", 0, "device population (with -duration, instead of -trace/-workload)")
+	duration := fs.Int("duration", 0, "trace duration in days (with -population)")
+	ingestBuffer := fs.Int("ingest-buffer", 0, "bounded admission queue size (0 = 4096); overflow returns 429")
+	signalFinal := fs.Bool("signal-final", false,
+		"on SIGTERM/SIGINT, close out the trace (flush the in-progress day and finish the run) "+
+			"instead of suspending into a resumable checkpoint")
+	sf := registerScenarioFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	scenario, err := sf.config()
+	if err != nil {
+		return err
+	}
+	meta, _, err := loadMeta(*tracePath, *workloadName, *name, *population, *duration)
+	if err != nil {
+		return err
+	}
+	srv, err := serve.NewServer(serve.Config{Scenario: scenario, Meta: meta, IngestBuffer: *ingestBuffer})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	httpDone := make(chan error, 1)
+	go func() { httpDone <- hs.Serve(ln) }()
+	fmt.Printf("measured: serving %s (%d devices, %d days, %d queriers) on http://%s\n",
+		meta.Name, meta.PopulationDevices, meta.DurationDays, len(meta.Advertisers), ln.Addr())
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigCh:
+		mode := "suspending (resumable)"
+		if *signalFinal {
+			mode = "closing out the trace"
+		}
+		fmt.Printf("measured: %v: draining ingest queue, %s\n", sig, mode)
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		defer cancel()
+		run, err := srv.Shutdown(ctx, *signalFinal)
+		_ = hs.Shutdown(ctx)
+		if err != nil {
+			return fmt.Errorf("drain failed: %w", err)
+		}
+		printSummary(run, srv.StatsSnapshot())
+		return nil
+	case <-srv.Done():
+		// The run finished through the API (/v1/shutdown or end of trace).
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(ctx)
+		run, err := srv.Run()
+		if err != nil {
+			return fmt.Errorf("run failed: %w", err)
+		}
+		printSummary(run, srv.StatsSnapshot())
+		return nil
+	case err := <-httpDone:
+		return fmt.Errorf("http server: %w", err)
+	}
+}
+
+func printSummary(run *workload.Run, st serve.Stats) {
+	if run == nil {
+		fmt.Printf("measured: stopped before any run started\n")
+		return
+	}
+	fmt.Printf("measured: run complete: %d events ingested, %d late-dropped, %d results released, "+
+		"%d duplicates rejected, %d requests backpressured\n",
+		run.EventsIngested, run.EventsDropped, len(run.Results),
+		st.DuplicatesRejected, st.Backpressured)
+}
+
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("measured bench", flag.ExitOnError)
+	target := fs.String("target", "", "base URL of a running server (empty = boot one in-process)")
+	tracePath := fs.String("trace", "", "trace file to send")
+	workloadName := fs.String("workload", "", "cataloged figure workload to send")
+	senders := fs.Int("senders", 4, "concurrent sender goroutines")
+	rps := fs.Float64("rps", 0, "aggregate ingest request rate cap (0 = unpaced)")
+	batch := fs.Int("batch", 256, "events per ingest request")
+	warmup := fs.Float64("warmup", 0.1, "fraction of leading latency samples discarded as warm-up")
+	pollMs := fs.Int("poll-interval-ms", 50, "result poller cadence in milliseconds")
+	out := fs.String("out", "BENCH_serve.json", "benchmark report path (empty = don't write)")
+	finalize := fs.Bool("finalize", true, "POST /v1/shutdown (final) after the load completes")
+	ingestBuffer := fs.Int("ingest-buffer", 0, "in-process server's admission queue size (0 = 4096)")
+	sf := registerScenarioFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	_, ds, err := loadMeta(*tracePath, *workloadName, "", 0, 0)
+	if err != nil {
+		return err
+	}
+	if ds == nil || len(ds.Events) == 0 {
+		return fmt.Errorf("bench needs a trace with events (-trace or -workload)")
+	}
+
+	baseURL := *target
+	if baseURL == "" {
+		scenario, err := sf.config()
+		if err != nil {
+			return err
+		}
+		meta := ds.Meta()
+		meta.Advertisers = nil // register over the API, like a real client
+		srv, err := serve.NewServer(serve.Config{Scenario: scenario, Meta: meta, IngestBuffer: *ingestBuffer})
+		if err != nil {
+			return err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go func() { _ = hs.Serve(ln) }()
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			_ = hs.Shutdown(ctx)
+		}()
+		baseURL = "http://" + ln.Addr().String()
+		fmt.Printf("measured bench: in-process server on %s\n", baseURL)
+	}
+
+	ctx := context.Background()
+	report, err := loadgen.Run(ctx, loadgen.Config{
+		Target:         baseURL,
+		Dataset:        ds,
+		Senders:        *senders,
+		RPS:            *rps,
+		BatchSize:      *batch,
+		WarmupFraction: *warmup,
+		PollInterval:   time.Duration(*pollMs) * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	if *finalize {
+		if err := postShutdown(ctx, baseURL); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("measured bench: %s: %d requests (%d events) in %.2fs — %.1f req/s, %.0f events/s\n",
+		report.Workload, report.Requests, report.EventsAccepted,
+		report.DurationSeconds, report.SustainedRPS, report.SustainedEventsPerSec)
+	fmt.Printf("  ingest latency ms: p50 %.3f  p95 %.3f  p99 %.3f   (retries: %d backpressure, %d unavailable)\n",
+		report.IngestP50Millis, report.IngestP95Millis, report.IngestP99Millis,
+		report.Retries429, report.Retries503)
+	fmt.Printf("  query poll ms:     p50 %.3f  p95 %.3f  p99 %.3f   (%d polls, %d results)\n",
+		report.QueryP50Millis, report.QueryP95Millis, report.QueryP99Millis,
+		report.QueryPolls, report.ResultsFetched)
+	if *out != "" {
+		if err := loadgen.WriteBenchFile(*out, report); err != nil {
+			return err
+		}
+		fmt.Printf("measured bench: wrote %s\n", *out)
+	}
+	return nil
+}
+
+func postShutdown(ctx context.Context, baseURL string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/v1/shutdown", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := (&http.Client{Timeout: 2 * time.Minute}).Do(req)
+	if err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("shutdown: status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+func cmdExport(args []string) error {
+	fs := flag.NewFlagSet("measured export", flag.ExitOnError)
+	workloadName := fs.String("workload", "", "cataloged figure workload to export")
+	out := fs.String("out", "", "trace file path (default NAME.trace)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *workloadName == "" {
+		return fmt.Errorf("export needs -workload (one of the figures catalog names)")
+	}
+	w, err := figures.ByName(*workloadName)
+	if err != nil {
+		return err
+	}
+	cfg, err := w.Config()
+	if err != nil {
+		return err
+	}
+	path := *out
+	if path == "" {
+		path = *workloadName + ".trace"
+	}
+	if err := dataset.WriteTraceFile(path, cfg.Dataset.Stream()); err != nil {
+		return err
+	}
+	fmt.Printf("measured export: wrote %s (%d events, %d devices, %d days, %d queriers)\n",
+		path, len(cfg.Dataset.Events), cfg.Dataset.PopulationDevices,
+		cfg.Dataset.DurationDays, len(cfg.Dataset.Advertisers))
+	return nil
+}

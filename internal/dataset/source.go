@@ -46,6 +46,17 @@ type Source interface {
 	Next() (ev events.Event, ok bool)
 }
 
+// Suspender is an optional Source extension for live feeds that can end
+// their stream early. After Next has returned ok == false, Suspended
+// reports whether the stream ended by suspension — the consumer should
+// drain and preserve resumable state rather than close out the trace (the
+// streaming service skips its final day flush, since the suspended day's
+// remaining events arrive after resume). Trace-backed sources never
+// suspend; they simply end.
+type Suspender interface {
+	Suspended() bool
+}
+
 // SliceSource streams a materialized dataset's events in (Day, ID) order —
 // the adapter that turns the batch micro/PATCG/Criteo generators into
 // streaming inputs. It copies the slice header and sorts the copy, so the

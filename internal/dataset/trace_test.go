@@ -1,0 +1,115 @@
+package dataset_test
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/events"
+	"repro/internal/figures"
+)
+
+// TestTraceRoundTrip writes a cataloged workload as a trace file and
+// reads it back: metadata, querier parameters and the (Day, ID)-ordered
+// event sequence must survive exactly, because the serving stack treats
+// the trace as the ground truth for loopback equivalence.
+func TestTraceRoundTrip(t *testing.T) {
+	w, err := figures.ByName("cookie-monster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := w.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := cfg.Dataset
+
+	path := filepath.Join(t.TempDir(), "micro.trace")
+	if err := dataset.WriteTraceFile(path, ds.Stream()); err != nil {
+		t.Fatalf("WriteTraceFile: %v", err)
+	}
+	got, err := dataset.OpenTrace(path)
+	if err != nil {
+		t.Fatalf("OpenTrace: %v", err)
+	}
+
+	if got.Name != ds.Name || got.PopulationDevices != ds.PopulationDevices ||
+		got.DurationDays != ds.DurationDays {
+		t.Fatalf("metadata mismatch: got %s/%d/%d want %s/%d/%d",
+			got.Name, got.PopulationDevices, got.DurationDays,
+			ds.Name, ds.PopulationDevices, ds.DurationDays)
+	}
+	if len(got.Advertisers) != len(ds.Advertisers) {
+		t.Fatalf("%d advertisers, want %d", len(got.Advertisers), len(ds.Advertisers))
+	}
+	for i, a := range ds.Advertisers {
+		g := got.Advertisers[i]
+		if g.Site != a.Site || g.MaxValue != a.MaxValue ||
+			g.AvgReportValue != a.AvgReportValue || g.BatchSize != a.BatchSize ||
+			len(g.Products) != len(a.Products) {
+			t.Fatalf("advertiser %d mismatch: %+v vs %+v", i, g, a)
+		}
+	}
+	// The trace is written in stream order; compare against the same.
+	want := dataset.Materialize(ds.Stream())
+	if len(got.Events) != len(want.Events) {
+		t.Fatalf("%d events, want %d", len(got.Events), len(want.Events))
+	}
+	for i := range want.Events {
+		if got.Events[i] != want.Events[i] {
+			t.Fatalf("event %d mismatch: %+v vs %+v", i, got.Events[i], want.Events[i])
+		}
+	}
+}
+
+// TestReadTraceRejectsMalformed covers the trace parser's failure modes:
+// it is fed from disk, but serves the same admission path as the network,
+// so it must reject rather than mis-parse.
+func TestReadTraceRejectsMalformed(t *testing.T) {
+	header := `{"name":"x","populationDevices":10,"durationDays":3,"advertisers":[]}`
+	for name, text := range map[string]string{
+		"empty":            "",
+		"bad-header":       `{"name":`,
+		"zero-population":  `{"name":"x","populationDevices":0,"durationDays":3}`,
+		"bad-event-json":   header + "\n" + `{"id":`,
+		"unknown-kind":     header + "\n" + `{"id":1,"kind":"click","device":1,"day":0,"advertiser":"a"}`,
+		"day-out-of-range": header + "\n" + `{"id":1,"kind":"impression","device":1,"day":3,"advertiser":"a"}`,
+		"events-out-of-order": header + "\n" +
+			`{"id":2,"kind":"impression","device":1,"day":1,"advertiser":"a"}` + "\n" +
+			`{"id":1,"kind":"impression","device":1,"day":0,"advertiser":"a"}`,
+	} {
+		t.Run(name, func(t *testing.T) {
+			if _, err := dataset.ReadTrace(strings.NewReader(text)); err == nil {
+				t.Fatalf("malformed trace accepted")
+			}
+		})
+	}
+}
+
+// TestWriteTraceRejectsDisorder: a source violating its ordering contract
+// must fail the export, not produce a trace that silently breaks replay.
+func TestWriteTraceRejectsDisorder(t *testing.T) {
+	var buf bytes.Buffer
+	if err := dataset.WriteTrace(&buf, &disorderedSource{}); err == nil {
+		t.Fatalf("disordered source exported without error")
+	}
+}
+
+type disorderedSource struct{ n int }
+
+func (s *disorderedSource) Meta() dataset.Meta {
+	return dataset.Meta{Name: "bad", PopulationDevices: 1, DurationDays: 5}
+}
+
+func (s *disorderedSource) Next() (ev events.Event, ok bool) {
+	s.n++
+	switch s.n {
+	case 1:
+		return events.Event{ID: 2, Day: 3, Device: 1}, true
+	case 2:
+		return events.Event{ID: 1, Day: 1, Device: 1}, true
+	}
+	return events.Event{}, false
+}

@@ -1,0 +1,479 @@
+// Package loadgen drives a running measured server (internal/serve) with
+// a workload trace: N concurrent senders partition the trace's device
+// population and POST event batches at a configurable aggregate request
+// rate, while a poller measures querier-side result latency. It reports
+// ingest and query latency quantiles (p50/p95/p99) and sustained
+// throughput — the numbers behind BENCH_serve.json.
+//
+// Senders advance through the trace day by day with a barrier between
+// days: within a day, batches from different senders interleave freely
+// (per-device order is still monotonic, which is all admission dedupe
+// needs), but no sender starts day d+1 until every sender finished day d,
+// matching the nondecreasing-day arrival contract of a real deployment's
+// day clock. Retries on 429/503 re-send the same batch verbatim, leaning
+// on the server's (device, seq) idempotency.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/events"
+	"repro/internal/serve"
+	"repro/internal/stats"
+)
+
+// Config parameterizes one load run.
+type Config struct {
+	// Target is the server's base URL, e.g. http://127.0.0.1:8080.
+	Target string
+	// Dataset supplies the trace: its advertisers are registered first (in
+	// order, so a fresh server's canonical querier order matches the
+	// trace), then its events are sent.
+	Dataset *dataset.Dataset
+	// Senders is the number of concurrent sender goroutines. The device
+	// population is partitioned across them by device ID. 0 selects 4.
+	Senders int
+	// RPS caps the aggregate ingest request rate across all senders
+	// (0 = unpaced, as fast as the server admits).
+	RPS float64
+	// BatchSize is the number of events per POST /v1/events (capped at
+	// the server's per-request limit). 0 selects 256.
+	BatchSize int
+	// WarmupFraction discards the first fraction of latency samples (and
+	// the corresponding wall time) from the quantiles, so connection and
+	// day-0 ramp-up don't pollute steady-state numbers. 0 keeps all.
+	WarmupFraction float64
+	// PollInterval is the result poller's cadence (0 = 50ms).
+	PollInterval time.Duration
+	// Client overrides the HTTP client (nil = 30s-timeout default).
+	Client *http.Client
+	// MaxRetries bounds per-batch retries on 429/503 before the run fails
+	// (0 = 2500, which at the 2ms floor is tens of seconds of pushback).
+	MaxRetries int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Senders == 0 {
+		c.Senders = 4
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 256
+	}
+	if c.BatchSize > serve.MaxBatchEvents {
+		c.BatchSize = serve.MaxBatchEvents
+	}
+	if c.PollInterval == 0 {
+		c.PollInterval = 50 * time.Millisecond
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 2500
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.Target == "":
+		return fmt.Errorf("loadgen: empty target")
+	case c.Dataset == nil:
+		return fmt.Errorf("loadgen: nil dataset")
+	case c.Senders < 0 || c.BatchSize < 0 || c.RPS < 0:
+		return fmt.Errorf("loadgen: negative senders, batch size or rps")
+	case c.WarmupFraction < 0 || c.WarmupFraction >= 1:
+		return fmt.Errorf("loadgen: warmup fraction outside [0,1)")
+	}
+	return nil
+}
+
+// Report is one load run's measurements. All latencies are milliseconds;
+// the flat shape drops straight into BENCH_serve.json rows.
+type Report struct {
+	Workload  string  `json:"workload"`
+	Senders   int     `json:"senders"`
+	TargetRPS float64 `json:"targetRPS"`
+	BatchSize int     `json:"batchSize"`
+
+	Requests       int `json:"requests"`
+	EventsSent     int `json:"eventsSent"`
+	EventsAccepted int `json:"eventsAccepted"`
+	Duplicates     int `json:"duplicates"`
+	Retries429     int `json:"retries429"`
+	Retries503     int `json:"retries503"`
+
+	DurationSeconds       float64 `json:"durationSeconds"`
+	SustainedRPS          float64 `json:"sustainedRPS"`
+	SustainedEventsPerSec float64 `json:"sustainedEventsPerSec"`
+
+	IngestP50Millis float64 `json:"ingestP50Millis"`
+	IngestP95Millis float64 `json:"ingestP95Millis"`
+	IngestP99Millis float64 `json:"ingestP99Millis"`
+
+	QueryPolls      int     `json:"queryPolls"`
+	ResultsFetched  int     `json:"resultsFetched"`
+	QueryP50Millis  float64 `json:"queryP50Millis"`
+	QueryP95Millis  float64 `json:"queryP95Millis"`
+	QueryP99Millis  float64 `json:"queryP99Millis"`
+	WarmupDiscarded int     `json:"warmupDiscarded"`
+}
+
+// pacer doles out send slots at an aggregate request rate. The zero rate
+// never blocks.
+type pacer struct {
+	mu       sync.Mutex
+	interval time.Duration
+	next     time.Time
+}
+
+func newPacer(rps float64) *pacer {
+	if rps <= 0 {
+		return &pacer{}
+	}
+	return &pacer{interval: time.Duration(float64(time.Second) / rps)}
+}
+
+// wait blocks until the caller's slot arrives and returns false if ctx
+// ended first.
+func (p *pacer) wait(ctx context.Context) bool {
+	if p.interval == 0 {
+		return ctx.Err() == nil
+	}
+	p.mu.Lock()
+	now := time.Now()
+	if p.next.Before(now) {
+		p.next = now
+	}
+	slot := p.next
+	p.next = p.next.Add(p.interval)
+	p.mu.Unlock()
+	if d := time.Until(slot); d > 0 {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return false
+		}
+	}
+	return ctx.Err() == nil
+}
+
+// generator is one live load run.
+type generator struct {
+	cfg   Config
+	pacer *pacer
+
+	mu          sync.Mutex
+	ingestMs    []float64 // POST /v1/events round-trip, send order
+	queryMs     []float64 // GET /v1/results round-trip, poll order
+	requests    int
+	accepted    int
+	duplicates  int
+	retries429  int
+	retries503  int
+	polls       int
+	resultsSeen int
+}
+
+// Run executes the load run: register queriers, stream the trace through
+// N senders, and measure. It returns the report; the server is left
+// serving (the caller decides whether to shut it down or keep feeding).
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	g := &generator{cfg: cfg, pacer: newPacer(cfg.RPS)}
+	if err := g.register(ctx); err != nil {
+		return nil, err
+	}
+
+	// Partition the trace by sender (device ID modulo senders keeps each
+	// device's events on one sender, preserving per-device order), then by
+	// day for the inter-day barrier.
+	days := cfg.Dataset.DurationDays
+	bySender := make([][][]events.Event, cfg.Senders) // [sender][day][]event
+	for i := range bySender {
+		bySender[i] = make([][]events.Event, days)
+	}
+	ordered := make([]events.Event, len(cfg.Dataset.Events))
+	copy(ordered, cfg.Dataset.Events)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Before(ordered[j]) })
+	sent := 0
+	for _, ev := range ordered {
+		s := int(uint64(ev.Device) % uint64(cfg.Senders))
+		bySender[s][ev.Day] = append(bySender[s][ev.Day], ev)
+		sent++
+	}
+
+	pollCtx, stopPoll := context.WithCancel(ctx)
+	var pollWG sync.WaitGroup
+	pollWG.Add(1)
+	go func() {
+		defer pollWG.Done()
+		g.poll(pollCtx)
+	}()
+
+	start := time.Now()
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	for day := 0; day < days; day++ {
+		for s := 0; s < cfg.Senders; s++ {
+			batch := bySender[s][day]
+			if len(batch) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(evs []events.Event) {
+				defer wg.Done()
+				if err := g.sendDay(ctx, evs); err != nil {
+					errOnce.Do(func() { firstErr = err })
+				}
+			}(batch)
+		}
+		wg.Wait() // day barrier
+		if firstErr != nil {
+			break
+		}
+	}
+	elapsed := time.Since(start)
+	stopPoll()
+	pollWG.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return g.report(sent, elapsed), nil
+}
+
+// register posts the dataset's queriers in order.
+func (g *generator) register(ctx context.Context) error {
+	for _, a := range g.cfg.Dataset.Advertisers {
+		body, err := json.Marshal(serve.RegistrationFromAdvertiser(a))
+		if err != nil {
+			return err
+		}
+		status, respBody, err := g.post(ctx, "/v1/queries", body)
+		if err != nil {
+			return fmt.Errorf("loadgen: registering %s: %w", a.Site, err)
+		}
+		if status != http.StatusOK {
+			return fmt.Errorf("loadgen: registering %s: status %d: %s", a.Site, status, respBody)
+		}
+	}
+	return nil
+}
+
+// sendDay streams one sender's slice of one day, batch by batch.
+func (g *generator) sendDay(ctx context.Context, evs []events.Event) error {
+	for len(evs) > 0 {
+		n := min(g.cfg.BatchSize, len(evs))
+		if err := g.sendBatch(ctx, evs[:n]); err != nil {
+			return err
+		}
+		evs = evs[n:]
+	}
+	return nil
+}
+
+// sendBatch posts one batch, retrying verbatim on backpressure (429) and
+// recovery (503) — the idempotency path — with a small backoff.
+func (g *generator) sendBatch(ctx context.Context, evs []events.Event) error {
+	req := serve.IngestRequest{Events: make([]serve.EventWire, len(evs))}
+	for i, ev := range evs {
+		req.Events[i] = serve.WireFromEvent(ev)
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	backoff := 2 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		if !g.pacer.wait(ctx) {
+			return ctx.Err()
+		}
+		t0 := time.Now()
+		status, respBody, err := g.post(ctx, "/v1/events", body)
+		rtt := time.Since(t0)
+		if err != nil {
+			return fmt.Errorf("loadgen: POST /v1/events: %w", err)
+		}
+		g.mu.Lock()
+		g.requests++
+		g.ingestMs = append(g.ingestMs, float64(rtt)/float64(time.Millisecond))
+		g.mu.Unlock()
+		switch status {
+		case http.StatusOK:
+			var resp serve.IngestResponse
+			if err := json.Unmarshal(respBody, &resp); err != nil {
+				return fmt.Errorf("loadgen: parsing ingest response: %w", err)
+			}
+			g.mu.Lock()
+			g.accepted += resp.Accepted
+			g.duplicates += resp.Duplicates
+			g.mu.Unlock()
+			return nil
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			g.mu.Lock()
+			if status == http.StatusTooManyRequests {
+				g.retries429++
+			} else {
+				g.retries503++
+			}
+			g.mu.Unlock()
+			if attempt >= g.cfg.MaxRetries {
+				return fmt.Errorf("loadgen: batch still refused (status %d) after %d retries",
+					status, attempt)
+			}
+			t := time.NewTimer(backoff)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return ctx.Err()
+			}
+			if backoff < 64*time.Millisecond {
+				backoff *= 2
+			}
+		default:
+			return fmt.Errorf("loadgen: POST /v1/events: status %d: %s", status, respBody)
+		}
+	}
+}
+
+// poll is the querier side of the load: fetch new results on a fixed
+// cadence, measuring each GET's round trip.
+func (g *generator) poll(ctx context.Context) {
+	after := -1
+	t := time.NewTicker(g.cfg.PollInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		t0 := time.Now()
+		status, body, err := g.get(ctx, fmt.Sprintf("/v1/results?after=%d", after))
+		rtt := time.Since(t0)
+		if err != nil || status != http.StatusOK {
+			continue // poller is best-effort; senders report hard failures
+		}
+		var resp serve.ResultsResponse
+		if err := json.Unmarshal(body, &resp); err != nil {
+			continue
+		}
+		g.mu.Lock()
+		g.polls++
+		g.queryMs = append(g.queryMs, float64(rtt)/float64(time.Millisecond))
+		g.resultsSeen += len(resp.Results)
+		g.mu.Unlock()
+		for _, r := range resp.Results {
+			if r.Index > after {
+				after = r.Index
+			}
+		}
+	}
+}
+
+func (g *generator) post(ctx context.Context, path string, body []byte) (int, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		g.cfg.Target+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return g.do(req)
+}
+
+func (g *generator) get(ctx context.Context, path string) (int, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, g.cfg.Target+path, nil)
+	if err != nil {
+		return 0, nil, err
+	}
+	return g.do(req)
+}
+
+func (g *generator) do(req *http.Request) (int, []byte, error) {
+	resp, err := g.cfg.Client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, serve.MaxBodyBytes))
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, body, nil
+}
+
+// report folds the samples into quantiles, discarding the warm-up prefix.
+func (g *generator) report(sent int, elapsed time.Duration) *Report {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	r := &Report{
+		Workload:        g.cfg.Dataset.Name,
+		Senders:         g.cfg.Senders,
+		TargetRPS:       g.cfg.RPS,
+		BatchSize:       g.cfg.BatchSize,
+		Requests:        g.requests,
+		EventsSent:      sent,
+		EventsAccepted:  g.accepted,
+		Duplicates:      g.duplicates,
+		Retries429:      g.retries429,
+		Retries503:      g.retries503,
+		DurationSeconds: elapsed.Seconds(),
+		QueryPolls:      g.polls,
+		ResultsFetched:  g.resultsSeen,
+	}
+	if elapsed > 0 {
+		r.SustainedRPS = float64(g.requests) / elapsed.Seconds()
+		r.SustainedEventsPerSec = float64(g.accepted) / elapsed.Seconds()
+	}
+	ingest := g.ingestMs
+	if cut := int(float64(len(ingest)) * g.cfg.WarmupFraction); cut > 0 && cut < len(ingest) {
+		r.WarmupDiscarded = cut
+		ingest = ingest[cut:]
+	}
+	r.IngestP50Millis, r.IngestP95Millis, r.IngestP99Millis = quantiles(ingest)
+	r.QueryP50Millis, r.QueryP95Millis, r.QueryP99Millis = quantiles(g.queryMs)
+	return r
+}
+
+// quantiles returns (p50, p95, p99) of the samples, zeros when empty
+// (stats.Quantile refuses an empty sample by design).
+func quantiles(samples []float64) (p50, p95, p99 float64) {
+	if len(samples) == 0 {
+		return 0, 0, 0
+	}
+	sorted := make([]float64, len(samples))
+	copy(sorted, samples)
+	sort.Float64s(sorted)
+	return stats.Quantile(sorted, 0.50), stats.Quantile(sorted, 0.95), stats.Quantile(sorted, 0.99)
+}
+
+// WriteBenchFile writes reports as a BENCH_*.json rows file.
+func WriteBenchFile(path string, reports ...*Report) error {
+	rows := struct {
+		Rows []*Report `json:"rows"`
+	}{Rows: reports}
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,133 @@
+package loadgen_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/figures"
+	"repro/internal/loadgen"
+	"repro/internal/serve"
+)
+
+// TestLoadgenAgainstServer runs the generator end to end against an
+// in-process server — multiple senders, pacing, warm-up, result polling —
+// and checks the report's books balance and the served run still matches
+// the batch reference. The multi-sender path interleaves devices within a
+// day, which admission must absorb without disorder rejections.
+func TestLoadgenAgainstServer(t *testing.T) {
+	w, err := figures.ByName("cookie-monster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := w.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := cfg.Dataset
+	scenario := cfg
+	scenario.Dataset = nil
+
+	meta := ds.Meta()
+	meta.Advertisers = nil // loadgen registers them
+	srv, err := serve.NewServer(serve.Config{Scenario: scenario, Meta: meta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	report, err := loadgen.Run(context.Background(), loadgen.Config{
+		Target:         hs.URL,
+		Dataset:        ds,
+		Senders:        3,
+		BatchSize:      64,
+		WarmupFraction: 0.1,
+		PollInterval:   5 * time.Millisecond,
+		Client:         hs.Client(),
+	})
+	if err != nil {
+		t.Fatalf("loadgen.Run: %v", err)
+	}
+	if report.EventsSent != len(ds.Events) || report.EventsAccepted != len(ds.Events) {
+		t.Fatalf("sent %d accepted %d, want %d", report.EventsSent, report.EventsAccepted, len(ds.Events))
+	}
+	if report.Duplicates != 0 {
+		t.Fatalf("%d duplicates on a clean run", report.Duplicates)
+	}
+	if report.Requests == 0 || report.SustainedRPS <= 0 || report.DurationSeconds <= 0 {
+		t.Fatalf("degenerate throughput report: %+v", report)
+	}
+	if report.IngestP50Millis <= 0 || report.IngestP99Millis < report.IngestP50Millis {
+		t.Fatalf("implausible ingest quantiles: p50 %v p99 %v",
+			report.IngestP50Millis, report.IngestP99Millis)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	run, err := srv.Shutdown(ctx, true)
+	if err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if run.EventsIngested != len(ds.Events) {
+		t.Fatalf("run ingested %d, want %d", run.EventsIngested, len(ds.Events))
+	}
+	// Multi-sender delivery interleaves within-day arrival order across
+	// devices, so the planner's arrival-order-sensitive batching is only
+	// digest-stable for single-sender feeds; here the invariant is the
+	// result count and clean completion, not bit-equality.
+	if len(run.Results) == 0 {
+		t.Fatalf("no results released")
+	}
+}
+
+// TestLoadgenSingleSenderDigest is the bridge between the bench harness
+// and the equivalence suite: with one sender the delivery order is the
+// canonical (Day, ID) order, so even the full load-generator pipeline
+// must reproduce the batch reference digest exactly.
+func TestLoadgenSingleSenderDigest(t *testing.T) {
+	ref, err := figures.BatchRef("cookie-monster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := figures.ByName("cookie-monster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := w.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := cfg.Dataset
+	scenario := cfg
+	scenario.Dataset = nil
+
+	meta := ds.Meta()
+	meta.Advertisers = nil
+	srv, err := serve.NewServer(serve.Config{Scenario: scenario, Meta: meta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	if _, err := loadgen.Run(context.Background(), loadgen.Config{
+		Target:    hs.URL,
+		Dataset:   ds,
+		Senders:   1,
+		BatchSize: 128,
+		Client:    hs.Client(),
+	}); err != nil {
+		t.Fatalf("loadgen.Run: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	run, err := srv.Shutdown(ctx, true)
+	if err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if got, want := run.CanonicalDigest(), ref.CanonicalDigest(); got != want {
+		t.Fatalf("single-sender loadgen digest %s != batch reference %s", got, want)
+	}
+}

@@ -1,0 +1,350 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/events"
+	"repro/internal/stream"
+)
+
+// Wire shapes and boundary validation for the /v1 JSON API.
+//
+// The HTTP boundary is where untrusted input enters the measurement
+// service, so every invariant the interior enforces by panicking — a
+// non-positive calibration input (privacy.Calibration.Epsilon), a negative
+// noise scale (stats.Laplace), a day index that would overflow the int32
+// epoch space (events.EpochOfDay) — is checked here first and reported as
+// a typed RequestError with a 400 status. Nothing a socket can carry
+// reaches a panicking check: the fuzz target in fuzz_test.go holds the
+// decode→ingest path to that.
+
+// Boundary limits. They bound hostile input, not legitimate workloads:
+// every dataset this repository generates sits far inside them.
+const (
+	// MaxBatchEvents bounds the events in one ingest request.
+	MaxBatchEvents = 4096
+	// MaxBodyBytes bounds one request body.
+	MaxBodyBytes = 4 << 20
+	// maxSiteLen bounds any site, campaign or product key. The event
+	// store interns keys, so unbounded distinct strings are a memory
+	// attack as well as a nuisance.
+	maxSiteLen = 256
+	// maxEventValue bounds conversion values and the registration
+	// sensitivity Δ (both enter noise-scale arithmetic).
+	maxEventValue = 1e12
+	// maxBatchSize bounds a registered query's batch size B.
+	maxBatchSize = 1 << 20
+	// maxProducts bounds one registration's product list.
+	maxProducts = 1024
+)
+
+// Stable machine-readable error codes carried by RequestError.
+const (
+	CodeMalformedJSON     = "malformed-json"
+	CodeBodyTooLarge      = "body-too-large"
+	CodeTooManyEvents     = "too-many-events"
+	CodeBadID             = "bad-id"
+	CodeBadKind           = "bad-kind"
+	CodeBadDay            = "bad-day"
+	CodeBadValue          = "bad-value"
+	CodeBadSite           = "bad-site"
+	CodeBadProduct        = "bad-product"
+	CodeUnknownAdvertiser = "unknown-advertiser"
+	CodeBadRegistration   = "bad-registration"
+	CodeSealed            = "registration-sealed"
+	CodeConflict          = "registration-conflict"
+	CodeBackpressure      = "backpressure"
+	CodeUnavailable       = "unavailable"
+)
+
+// RequestError is a typed boundary-validation failure: malformed or
+// hostile input detected at the HTTP boundary and reported to the client
+// as a 400, instead of reaching an invariant check deeper in the service
+// that would panic.
+type RequestError struct {
+	// Code is the stable machine-readable identifier.
+	Code string
+	// Index is the offending event's position within the batch (-1 when
+	// the error is not about one event).
+	Index int
+	// Msg is the human-readable detail.
+	Msg string
+}
+
+// Error implements error.
+func (e *RequestError) Error() string {
+	if e.Index >= 0 {
+		return fmt.Sprintf("%s (event %d): %s", e.Code, e.Index, e.Msg)
+	}
+	return fmt.Sprintf("%s: %s", e.Code, e.Msg)
+}
+
+func reqErr(code, format string, args ...any) *RequestError {
+	return &RequestError{Code: code, Index: -1, Msg: fmt.Sprintf(format, args...)}
+}
+
+// EventWire is one impression or conversion on the wire. The event ID is
+// also the client's per-device sequence number: admission requires each
+// device's (day, id) to be strictly increasing, and a retried POST is
+// deduplicated against that cursor.
+type EventWire struct {
+	ID         uint64  `json:"id"`
+	Kind       string  `json:"kind"`
+	Device     uint64  `json:"device"`
+	Day        int     `json:"day"`
+	Publisher  string  `json:"publisher,omitempty"`
+	Advertiser string  `json:"advertiser,omitempty"`
+	Campaign   string  `json:"campaign,omitempty"`
+	Product    string  `json:"product,omitempty"`
+	Value      float64 `json:"value,omitempty"`
+}
+
+// WireFromEvent converts an internal event to its wire shape.
+func WireFromEvent(ev events.Event) EventWire {
+	return EventWire{
+		ID:         uint64(ev.ID),
+		Kind:       ev.Kind.String(),
+		Device:     uint64(ev.Device),
+		Day:        ev.Day,
+		Publisher:  string(ev.Publisher),
+		Advertiser: string(ev.Advertiser),
+		Campaign:   ev.Campaign,
+		Product:    ev.Product,
+		Value:      ev.Value,
+	}
+}
+
+// decode validates one wire event against the served trace's bounds and
+// converts it. durationDays bounds the day index: the service's epoch
+// arithmetic is int32 and its day clock never runs past the trace, so an
+// out-of-range day is hostile by construction.
+func (w EventWire) decode(durationDays int) (events.Event, *RequestError) {
+	ev := events.Event{
+		ID:         events.EventID(w.ID),
+		Device:     events.DeviceID(w.Device),
+		Day:        w.Day,
+		Publisher:  events.Site(w.Publisher),
+		Advertiser: events.Site(w.Advertiser),
+		Campaign:   w.Campaign,
+		Product:    w.Product,
+		Value:      w.Value,
+	}
+	switch w.Kind {
+	case events.KindImpression.String():
+		ev.Kind = events.KindImpression
+	case events.KindConversion.String():
+		ev.Kind = events.KindConversion
+	default:
+		return ev, reqErr(CodeBadKind, "kind %q is not %q or %q",
+			w.Kind, events.KindImpression, events.KindConversion)
+	}
+	if w.ID == 0 {
+		return ev, reqErr(CodeBadID, "event id must be positive")
+	}
+	if w.Day < 0 || w.Day >= durationDays {
+		return ev, reqErr(CodeBadDay, "day %d outside trace [0, %d)", w.Day, durationDays)
+	}
+	if w.Advertiser == "" || len(w.Advertiser) > maxSiteLen {
+		return ev, reqErr(CodeBadSite, "advertiser must be 1..%d bytes", maxSiteLen)
+	}
+	if len(w.Publisher) > maxSiteLen || len(w.Campaign) > maxSiteLen {
+		return ev, reqErr(CodeBadSite, "publisher/campaign keys must be at most %d bytes", maxSiteLen)
+	}
+	if len(w.Product) > maxSiteLen {
+		return ev, reqErr(CodeBadProduct, "product key must be at most %d bytes", maxSiteLen)
+	}
+	if ev.IsConversion() {
+		if w.Product == "" {
+			return ev, reqErr(CodeBadProduct, "conversion without a product key")
+		}
+		if math.IsNaN(w.Value) || math.IsInf(w.Value, 0) || w.Value < 0 || w.Value > maxEventValue {
+			return ev, reqErr(CodeBadValue, "conversion value must be finite in [0, %g]", maxEventValue)
+		}
+	} else if w.Value != 0 {
+		return ev, reqErr(CodeBadValue, "impression with a conversion value")
+	}
+	return ev, nil
+}
+
+// QueryRegistration is one querier's registration: the advertiser site,
+// its product query streams, and the calibration inputs (Δ, c̃, B) its
+// summation queries will use.
+type QueryRegistration struct {
+	Site           string   `json:"site"`
+	Products       []string `json:"products,omitempty"`
+	MaxValue       float64  `json:"maxValue"`
+	AvgReportValue float64  `json:"avgReportValue"`
+	BatchSize      int      `json:"batchSize"`
+}
+
+// RegistrationFromAdvertiser converts dataset metadata to its wire shape.
+func RegistrationFromAdvertiser(a dataset.Advertiser) QueryRegistration {
+	return QueryRegistration{
+		Site:           string(a.Site),
+		Products:       a.Products,
+		MaxValue:       a.MaxValue,
+		AvgReportValue: a.AvgReportValue,
+		BatchSize:      a.BatchSize,
+	}
+}
+
+// decode validates a registration. The positivity checks are exactly what
+// keeps the ε-calibration (privacy.Calibration.Epsilon panics on
+// non-positive Δ, B, or c̃) and the Laplace noise scale Δ/ε out of their
+// panicking domains for every query this querier will ever run.
+func (q QueryRegistration) decode() (dataset.Advertiser, *RequestError) {
+	adv := dataset.Advertiser{
+		Site:           events.Site(q.Site),
+		Products:       q.Products,
+		MaxValue:       q.MaxValue,
+		AvgReportValue: q.AvgReportValue,
+		BatchSize:      q.BatchSize,
+	}
+	if q.Site == "" || len(q.Site) > maxSiteLen {
+		return adv, reqErr(CodeBadRegistration, "site must be 1..%d bytes", maxSiteLen)
+	}
+	if len(q.Products) == 0 {
+		return adv, reqErr(CodeBadRegistration, "a querier needs at least one product stream")
+	}
+	if len(q.Products) > maxProducts {
+		return adv, reqErr(CodeBadRegistration, "at most %d products per querier", maxProducts)
+	}
+	for _, p := range q.Products {
+		if p == "" || len(p) > maxSiteLen {
+			return adv, reqErr(CodeBadRegistration, "product keys must be 1..%d bytes", maxSiteLen)
+		}
+	}
+	if q.BatchSize < 1 || q.BatchSize > maxBatchSize {
+		return adv, reqErr(CodeBadRegistration, "batch size must be in [1, %d]", maxBatchSize)
+	}
+	if math.IsNaN(q.MaxValue) || math.IsInf(q.MaxValue, 0) || q.MaxValue <= 0 || q.MaxValue > maxEventValue {
+		return adv, reqErr(CodeBadRegistration, "maxValue must be finite in (0, %g]", maxEventValue)
+	}
+	if math.IsNaN(q.AvgReportValue) || math.IsInf(q.AvgReportValue, 0) ||
+		q.AvgReportValue <= 0 || q.AvgReportValue > maxEventValue {
+		return adv, reqErr(CodeBadRegistration, "avgReportValue must be finite in (0, %g]", maxEventValue)
+	}
+	return adv, nil
+}
+
+// advertisersEqual reports whether two registrations are identical — the
+// idempotent-retry test for a re-registration after the run sealed.
+func advertisersEqual(a, b dataset.Advertiser) bool {
+	if a.Site != b.Site || a.MaxValue != b.MaxValue ||
+		a.AvgReportValue != b.AvgReportValue || a.BatchSize != b.BatchSize ||
+		len(a.Products) != len(b.Products) {
+		return false
+	}
+	for i := range a.Products {
+		if a.Products[i] != b.Products[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IngestRequest is the body of POST /v1/events.
+type IngestRequest struct {
+	Events []EventWire `json:"events"`
+}
+
+// IngestResponse acknowledges an ingest request: every event was either
+// admitted (and is WAL-logged by the time the response is sent) or
+// recognized as a duplicate of an already-admitted (device, seq).
+type IngestResponse struct {
+	Accepted   int `json:"accepted"`
+	Duplicates int `json:"duplicates"`
+}
+
+// ErrorResponse is the JSON error envelope.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
+	// Index is the offending event's batch position (validation errors).
+	Index int `json:"index,omitempty"`
+	// Accepted reports the admitted prefix of a backpressured (429)
+	// request; the whole batch can be retried, the prefix deduplicates.
+	Accepted int `json:"accepted,omitempty"`
+}
+
+// ResultWire is one released query result, querier-facing: the noisy
+// estimate and its metadata, never the ground truth the simulator keeps
+// for its accuracy metrics.
+type ResultWire struct {
+	Querier       string  `json:"querier"`
+	Product       string  `json:"product"`
+	Index         int     `json:"index"`
+	Batch         int     `json:"batch"`
+	Epsilon       float64 `json:"epsilon"`
+	Executed      bool    `json:"executed"`
+	Estimate      float64 `json:"estimate"`
+	FireDay       int     `json:"fireDay"`
+	FirstEpoch    int32   `json:"firstEpoch"`
+	LastEpoch     int32   `json:"lastEpoch"`
+	DeniedReports int     `json:"deniedReports"`
+	BiasedReports int     `json:"biasedReports"`
+	BiasEstimate  float64 `json:"biasEstimate,omitempty"`
+}
+
+func wireFromResult(res stream.Result) ResultWire {
+	return ResultWire{
+		Querier:       string(res.Querier),
+		Product:       res.Product,
+		Index:         res.Index,
+		Batch:         res.Batch,
+		Epsilon:       res.Epsilon,
+		Executed:      res.Executed,
+		Estimate:      res.Estimate,
+		FireDay:       res.FireDay,
+		FirstEpoch:    int32(res.FirstEpoch),
+		LastEpoch:     int32(res.LastEpoch),
+		DeniedReports: res.DeniedReports,
+		BiasedReports: res.BiasedReports,
+		BiasEstimate:  res.BiasEstimate,
+	}
+}
+
+// ResultsResponse is the body of GET /v1/results.
+type ResultsResponse struct {
+	Results []ResultWire `json:"results"`
+	// Complete is true once the run finished cleanly: no further results
+	// will ever be released.
+	Complete bool `json:"complete"`
+}
+
+// RegistrationResponse is the body of a successful POST /v1/queries.
+type RegistrationResponse struct {
+	// Index is the querier's position in registration order.
+	Index    int `json:"index"`
+	Queriers int `json:"queriers"`
+}
+
+// MetaResponse is the body of GET /v1/meta.
+type MetaResponse struct {
+	Name              string `json:"name"`
+	PopulationDevices int    `json:"populationDevices"`
+	DurationDays      int    `json:"durationDays"`
+	Queriers          int    `json:"queriers"`
+	State             string `json:"state"`
+	Resumed           bool   `json:"resumed"`
+}
+
+// ShutdownRequest is the body of POST /v1/shutdown. Final (the default)
+// closes out the trace: the in-progress day flushes and the run completes
+// as if the source had drained. final=false suspends instead: the queue
+// drains, the WAL syncs, a final generation commits, and the run can be
+// resumed from the checkpoint directory.
+type ShutdownRequest struct {
+	Final *bool `json:"final"`
+}
+
+// ShutdownResponse summarizes the drained run.
+type ShutdownResponse struct {
+	State          string `json:"state"`
+	EventsIngested int    `json:"eventsIngested"`
+	EventsDropped  int    `json:"eventsDropped"`
+	Results        int    `json:"results"`
+	Error          string `json:"error,omitempty"`
+}

@@ -1,0 +1,686 @@
+// Package serve is the measurement service's network front door
+// (DESIGN.md §13): an HTTP/JSON API where devices POST impression and
+// conversion events and queriers register queries and poll per-day
+// results, backed by stream.Service through the ordinary workload client.
+//
+// The serving contract, in one paragraph: a 200 on POST /v1/events means
+// every event in the batch is either admitted — appended to the
+// write-ahead log (when durability is on) and applied to the service
+// state — or recognized as a duplicate of an already-admitted (device,
+// seq); a 429 means the bounded admission queue pushed back and the whole
+// batch can be retried verbatim (the admitted prefix deduplicates); a 400
+// carries a typed RequestError and admits nothing. Admission order is
+// what the WAL records, so a server-fed run is bit-identical to the
+// in-process run over the same event sequence — the loopback equivalence
+// test holds it to the digest.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/dataset"
+	"repro/internal/events"
+	"repro/internal/stream"
+	"repro/internal/workload"
+)
+
+// Config parameterizes one Server.
+type Config struct {
+	// Scenario is the workload configuration the served run executes.
+	// Scenario.Dataset must be nil (the trace arrives over the network);
+	// the late policy is forced to drop-with-counter — hostile traffic
+	// must never abort a serving process. Scenario.Resume recovers
+	// Scenario.CheckpointDir's durable state before accepting events.
+	Scenario workload.Config
+	// Meta fixes the served trace's identity: name, device population and
+	// duration (day bounds for admission). Meta.Advertisers pre-registers
+	// queriers; more may register over POST /v1/queries until the first
+	// event seals the run. A resumed server requires the full querier set
+	// here — registration is closed at boot.
+	Meta dataset.Meta
+	// IngestBuffer bounds the admission queue between the HTTP handlers
+	// and the service's ingest queue — the backpressure window surfaced
+	// as 429s. 0 selects 4096.
+	IngestBuffer int
+}
+
+// Server states, in order.
+const (
+	stateRegistering int32 = iota // accepting registrations, no events yet
+	stateServing                  // run sealed, ingesting
+	stateDraining                 // shutdown requested, queue draining
+	stateDone                     // run finished (see runErr)
+)
+
+func stateString(st int32) string {
+	switch st {
+	case stateRegistering:
+		return "registering"
+	case stateServing:
+		return "serving"
+	case stateDraining:
+		return "draining"
+	default:
+		return "done"
+	}
+}
+
+// cursor is one device's admission high-water mark: the (day, id) of its
+// newest admitted event. Admission requires strict (day, id) progress per
+// device, so the event ID doubles as the retry-dedupe sequence number.
+type cursor struct {
+	day int
+	id  events.EventID
+}
+
+// before reports whether the cursor admits an event at (day, id).
+func (c cursor) before(ev events.Event) bool {
+	return c.day < ev.Day || (c.day == ev.Day && c.id < ev.ID)
+}
+
+// waiterKey identifies the admission acknowledgement a handler waits on.
+type waiterKey struct {
+	device events.DeviceID
+	id     events.EventID
+}
+
+// netSource adapts the admission queue to dataset.Source: the service's
+// producer goroutine drains it like any trace. Closing ch ends the run;
+// suspended distinguishes a graceful suspend (drain and keep resumable
+// state) from reaching the end of the trace.
+type netSource struct {
+	meta      dataset.Meta
+	ch        chan events.Event
+	ready     chan struct{}
+	readyOnce sync.Once
+	suspended atomic.Bool
+}
+
+// Meta implements dataset.Source.
+func (s *netSource) Meta() dataset.Meta { return s.meta }
+
+// Next implements dataset.Source. The first call marks the source ready:
+// on a resumed service it happens only after ResumeFrom finished its
+// restore and WAL replay, which is the admission layer's signal that the
+// dedupe cursors are fully rebuilt and events may be accepted.
+func (s *netSource) Next() (events.Event, bool) {
+	s.readyOnce.Do(func() { close(s.ready) })
+	ev, ok := <-s.ch
+	return ev, ok
+}
+
+// Suspended implements dataset.Suspender.
+func (s *netSource) Suspended() bool { return s.suspended.Load() }
+
+// Stats is a point-in-time snapshot of the server's admission telemetry.
+type Stats struct {
+	State string `json:"state"`
+	// EventsAccepted counts events admitted into the queue; Duplicates-
+	// Rejected counts (device, seq) regressions refused at admission —
+	// retried deliveries and per-device reordering alike. LateDropped
+	// counts admitted events the service's day clock dropped as late.
+	EventsAccepted     int64 `json:"eventsAccepted"`
+	DuplicatesRejected int64 `json:"duplicatesRejected"`
+	LateDropped        int64 `json:"lateDropped"`
+	// Backpressured counts ingest requests pushed back with a 429.
+	Backpressured int64 `json:"backpressured"`
+	BadRequests   int64 `json:"badRequests"`
+	Results       int   `json:"results"`
+	QueueDepth    int   `json:"queueDepth"`
+	QueueCapacity int   `json:"queueCapacity"`
+	// Final-run telemetry, populated once State is "done" without error.
+	EventsIngested int `json:"eventsIngested,omitempty"`
+	EventsDropped  int `json:"eventsDropped,omitempty"`
+}
+
+// Server is one served measurement run. Create with NewServer, expose
+// Handler over any net/http server, and stop with Shutdown.
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+
+	mu          sync.Mutex
+	state       int32
+	advertisers []dataset.Advertiser
+	advBySite   map[events.Site]dataset.Advertiser
+	src         *netSource
+	cursors     map[events.DeviceID]cursor
+	waiters     map[waiterKey]chan struct{}
+	results     []stream.Result
+	stats       Stats
+	run         *workload.Run
+	runErr      error
+
+	done  chan struct{} // closed when the service goroutine finishes
+	ready chan struct{} // closed once admission may accept events
+}
+
+// NewServer validates cfg and builds a server. A resumed configuration
+// (Scenario.Resume) seals immediately and starts recovery; otherwise the
+// server accepts registrations until the first event arrives.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Scenario.Dataset != nil {
+		return nil, fmt.Errorf("serve: Scenario.Dataset must be nil (events arrive over the network)")
+	}
+	if cfg.Meta.PopulationDevices <= 0 || cfg.Meta.DurationDays <= 0 {
+		return nil, fmt.Errorf("serve: Meta needs a positive device population and duration")
+	}
+	if cfg.Meta.Name == "" {
+		cfg.Meta.Name = "served"
+	}
+	if cfg.IngestBuffer == 0 {
+		cfg.IngestBuffer = 4096
+	}
+	if cfg.IngestBuffer < 0 {
+		return nil, fmt.Errorf("serve: negative ingest buffer")
+	}
+	s := &Server{
+		cfg:       cfg,
+		advBySite: make(map[events.Site]dataset.Advertiser),
+		cursors:   make(map[events.DeviceID]cursor),
+		waiters:   make(map[waiterKey]chan struct{}),
+		done:      make(chan struct{}),
+		ready:     make(chan struct{}),
+	}
+	s.stats.QueueCapacity = cfg.IngestBuffer
+	for i, a := range cfg.Meta.Advertisers {
+		adv, rerr := RegistrationFromAdvertiser(a).decode()
+		if rerr != nil {
+			return nil, fmt.Errorf("serve: preset querier %d: %w", i, rerr)
+		}
+		if _, dup := s.advBySite[adv.Site]; dup {
+			return nil, fmt.Errorf("serve: duplicate preset querier %s", adv.Site)
+		}
+		s.advertisers = append(s.advertisers, adv)
+		s.advBySite[adv.Site] = adv
+	}
+	s.buildMux()
+	if cfg.Scenario.Resume {
+		if len(s.advertisers) == 0 {
+			return nil, fmt.Errorf("serve: resume requires the querier set up front (Meta.Advertisers)")
+		}
+		s.mu.Lock()
+		s.seal()
+		s.mu.Unlock()
+	}
+	return s, nil
+}
+
+// seal closes registration and starts the measurement service over the
+// admission queue. Caller holds mu.
+func (s *Server) seal() {
+	meta := s.cfg.Meta
+	meta.Advertisers = slices.Clone(s.advertisers)
+	src := &netSource{
+		meta:  meta,
+		ch:    make(chan events.Event, s.cfg.IngestBuffer),
+		ready: s.ready,
+	}
+	s.src = src
+	s.state = stateServing
+
+	wcfg := s.cfg.Scenario
+	wcfg.Dataset = nil
+	wcfg.DropLate = true
+	wcfg.LiveSource = true
+	wcfg.AdmitObserver = s.onAdmit
+	wcfg.ResultObserver = s.onResult
+	go s.runService(wcfg, src)
+	if !wcfg.Resume {
+		// Fresh runs have no recovery to wait for; resumed runs become
+		// ready on the service's first Next call, after restore + replay.
+		src.readyOnce.Do(func() { close(src.ready) })
+	}
+}
+
+// runService drives the workload to completion on its own goroutine.
+func (s *Server) runService(wcfg workload.Config, src *netSource) {
+	run, err := workload.ExecuteSource(wcfg, src)
+	s.mu.Lock()
+	s.run, s.runErr = run, err
+	s.state = stateDone
+	if run != nil {
+		s.stats.EventsIngested = run.EventsIngested
+		s.stats.EventsDropped = run.EventsDropped
+	}
+	close(s.done)
+	s.mu.Unlock()
+}
+
+// onAdmit runs on the service goroutine for every committed admission
+// decision — live, restored, or replayed. It advances the dedupe cursors
+// (so recovery rebuilds them from durable state) and acknowledges the
+// handler waiting on the event, which is what makes a 200 mean
+// "WAL-logged and applied", not "enqueued".
+func (s *Server) onAdmit(ev events.Event, dropped bool) {
+	s.mu.Lock()
+	if dropped {
+		s.stats.LateDropped++
+	} else if c, ok := s.cursors[ev.Device]; !ok || c.before(ev) {
+		s.cursors[ev.Device] = cursor{ev.Day, ev.ID}
+	}
+	key := waiterKey{ev.Device, ev.ID}
+	if ch, ok := s.waiters[key]; ok {
+		delete(s.waiters, key)
+		close(ch)
+	}
+	s.mu.Unlock()
+}
+
+// onResult runs on the service goroutine for every released (or restored)
+// query result, in canonical order; /v1/results serves from this buffer.
+func (s *Server) onResult(res stream.Result) {
+	s.mu.Lock()
+	s.results = append(s.results, res)
+	s.stats.Results = len(s.results)
+	s.mu.Unlock()
+}
+
+// Handler returns the /v1 API handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Done is closed when the served run has finished (cleanly or not).
+func (s *Server) Done() <-chan struct{} { return s.done }
+
+// Run returns the completed run once Done is closed.
+func (s *Server) Run() (*workload.Run, error) {
+	select {
+	case <-s.done:
+	default:
+		return nil, fmt.Errorf("serve: run still in progress")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.run, s.runErr
+}
+
+// StatsSnapshot returns the current admission telemetry.
+func (s *Server) StatsSnapshot() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.statsLocked()
+}
+
+func (s *Server) statsLocked() Stats {
+	st := s.stats
+	st.State = stateString(s.state)
+	if s.state == stateDone && s.runErr != nil {
+		st.State = "failed"
+	}
+	if s.src != nil {
+		st.QueueDepth = len(s.src.ch)
+	}
+	return st
+}
+
+// Shutdown drains and stops the server. final closes out the trace (the
+// in-progress day flushes and the run completes, exactly as if the source
+// had drained); !final suspends — the admission queue drains through the
+// service, the group-commit syncer flushes, a final generation commits
+// when the state is snapshot-clean, and the run is resumable from the
+// checkpoint directory. Both wait for the service to finish (or ctx).
+func (s *Server) Shutdown(ctx context.Context, final bool) (*workload.Run, error) {
+	s.mu.Lock()
+	switch s.state {
+	case stateRegistering:
+		// Never sealed: no service to drain.
+		s.state = stateDone
+		close(s.done)
+		s.mu.Unlock()
+		return nil, nil
+	case stateServing:
+		s.state = stateDraining
+		s.src.suspended.Store(!final)
+		close(s.src.ch)
+	}
+	s.mu.Unlock()
+	select {
+	case <-s.done:
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.run, s.runErr
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (s *Server) buildMux() {
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/events", s.handleEvents)
+	s.mux.HandleFunc("/v1/queries", s.handleQueries)
+	s.mux.HandleFunc("/v1/results", s.handleResults)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/v1/meta", s.handleMeta)
+	s.mux.HandleFunc("/v1/shutdown", s.handleShutdown)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError reports a RequestError as a 400 and counts it.
+func (s *Server) writeError(w http.ResponseWriter, status int, rerr *RequestError) {
+	s.mu.Lock()
+	s.stats.BadRequests++
+	s.mu.Unlock()
+	writeJSON(w, status, ErrorResponse{Error: rerr.Msg, Code: rerr.Code, Index: rerr.Index})
+}
+
+// decodeBody decodes a JSON body under the size cap, distinguishing the
+// oversized case (413) from malformed JSON (400).
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) (int, *RequestError) {
+	r.Body = http.MaxBytesReader(w, r.Body, MaxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return http.StatusRequestEntityTooLarge,
+				reqErr(CodeBodyTooLarge, "body exceeds %d bytes", MaxBodyBytes)
+		}
+		return http.StatusBadRequest, reqErr(CodeMalformedJSON, "decoding body: %v", err)
+	}
+	return 0, nil
+}
+
+// handleEvents is POST /v1/events: validate the whole batch, admit it in
+// order under the dedupe cursors, and acknowledge only after the service
+// has WAL-logged and applied the batch's last admitted event.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req IngestRequest
+	if status, rerr := decodeBody(w, r, &req); rerr != nil {
+		s.writeError(w, status, rerr)
+		return
+	}
+	if len(req.Events) > MaxBatchEvents {
+		s.writeError(w, http.StatusBadRequest,
+			reqErr(CodeTooManyEvents, "%d events exceed the %d per-request cap",
+				len(req.Events), MaxBatchEvents))
+		return
+	}
+	decoded := make([]events.Event, len(req.Events))
+	for i, ew := range req.Events {
+		ev, rerr := ew.decode(s.cfg.Meta.DurationDays)
+		if rerr != nil {
+			rerr.Index = i
+			s.writeError(w, http.StatusBadRequest, rerr)
+			return
+		}
+		decoded[i] = ev
+	}
+
+	s.mu.Lock()
+	// Advertisers must be known before anything is admitted (or the run
+	// sealed): the planner only schedules registered query streams, so an
+	// unknown site is a client error, not a silent no-op.
+	for i, ev := range decoded {
+		if _, ok := s.advBySite[ev.Advertiser]; !ok {
+			s.mu.Unlock()
+			rerr := reqErr(CodeUnknownAdvertiser, "advertiser %q is not registered", ev.Advertiser)
+			rerr.Index = i
+			s.writeError(w, http.StatusBadRequest, rerr)
+			return
+		}
+	}
+	switch s.state {
+	case stateRegistering:
+		s.seal()
+	case stateServing:
+	default:
+		s.mu.Unlock()
+		writeJSON(w, http.StatusServiceUnavailable,
+			ErrorResponse{Error: "service is not accepting events", Code: CodeUnavailable})
+		return
+	}
+	src := s.src
+	s.mu.Unlock()
+
+	// Recovery gate: a resumed service must finish rebuilding the dedupe
+	// cursors (restore + WAL replay) before any admission check is sound.
+	select {
+	case <-src.ready:
+	default:
+		writeJSON(w, http.StatusServiceUnavailable,
+			ErrorResponse{Error: "service is recovering; retry", Code: CodeUnavailable})
+		return
+	}
+
+	s.mu.Lock()
+	if s.state != stateServing {
+		s.mu.Unlock()
+		writeJSON(w, http.StatusServiceUnavailable,
+			ErrorResponse{Error: "service is not accepting events", Code: CodeUnavailable})
+		return
+	}
+	accepted, duplicates := 0, 0
+	backpressured := false
+	var lastKey waiterKey
+	for _, ev := range decoded {
+		if c, ok := s.cursors[ev.Device]; ok && !c.before(ev) {
+			duplicates++
+			continue
+		}
+		select {
+		case src.ch <- ev:
+			s.cursors[ev.Device] = cursor{ev.Day, ev.ID}
+			lastKey = waiterKey{ev.Device, ev.ID}
+			accepted++
+		default:
+			backpressured = true
+		}
+		if backpressured {
+			break
+		}
+	}
+	s.stats.EventsAccepted += int64(accepted)
+	s.stats.DuplicatesRejected += int64(duplicates)
+	var ack chan struct{}
+	if backpressured {
+		s.stats.Backpressured++
+	} else if accepted > 0 {
+		ack = make(chan struct{})
+		s.waiters[lastKey] = ack
+	}
+	s.mu.Unlock()
+
+	if backpressured {
+		// The admitted prefix stays admitted (its cursors advanced); the
+		// client retries the whole batch and the prefix deduplicates.
+		writeJSON(w, http.StatusTooManyRequests, ErrorResponse{
+			Error: "ingest queue full", Code: CodeBackpressure,
+			Accepted: accepted,
+		})
+		return
+	}
+	if ack == nil {
+		writeJSON(w, http.StatusOK, IngestResponse{Accepted: 0, Duplicates: duplicates})
+		return
+	}
+	select {
+	case <-ack:
+		writeJSON(w, http.StatusOK, IngestResponse{Accepted: accepted, Duplicates: duplicates})
+	case <-s.done:
+		// The service stopped while the batch was queued. If the observer
+		// fired before the stop, the batch made it; otherwise it is not
+		// durable and the client must retry against a recovered server.
+		s.mu.Lock()
+		_, pending := s.waiters[lastKey]
+		delete(s.waiters, lastKey)
+		s.mu.Unlock()
+		if !pending {
+			writeJSON(w, http.StatusOK, IngestResponse{Accepted: accepted, Duplicates: duplicates})
+			return
+		}
+		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{
+			Error: "service stopped before the batch was applied; retry after recovery",
+			Code:  CodeUnavailable,
+		})
+	}
+}
+
+// handleQueries is POST /v1/queries (register a querier) and GET
+// /v1/queries (list registrations).
+func (s *Server) handleQueries(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		s.mu.Lock()
+		regs := make([]QueryRegistration, len(s.advertisers))
+		for i, a := range s.advertisers {
+			regs[i] = RegistrationFromAdvertiser(a)
+		}
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, regs)
+		return
+	case http.MethodPost:
+	default:
+		w.Header().Set("Allow", "GET, POST")
+		http.Error(w, "GET or POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var reg QueryRegistration
+	if status, rerr := decodeBody(w, r, &reg); rerr != nil {
+		s.writeError(w, status, rerr)
+		return
+	}
+	adv, rerr := reg.decode()
+	if rerr != nil {
+		s.writeError(w, http.StatusBadRequest, rerr)
+		return
+	}
+	s.mu.Lock()
+	if existing, ok := s.advBySite[adv.Site]; ok {
+		// Idempotent re-registration is fine at any time; changing an
+		// existing registration never is.
+		idx := slices.IndexFunc(s.advertisers, func(a dataset.Advertiser) bool {
+			return a.Site == adv.Site
+		})
+		n := len(s.advertisers)
+		s.mu.Unlock()
+		if advertisersEqual(existing, adv) {
+			writeJSON(w, http.StatusOK, RegistrationResponse{Index: idx, Queriers: n})
+			return
+		}
+		writeJSON(w, http.StatusConflict, ErrorResponse{
+			Error: fmt.Sprintf("querier %s is already registered with different parameters", adv.Site),
+			Code:  CodeConflict,
+		})
+		return
+	}
+	if s.state != stateRegistering {
+		s.mu.Unlock()
+		writeJSON(w, http.StatusConflict, ErrorResponse{
+			Error: "the run has started; registration is sealed", Code: CodeSealed,
+		})
+		return
+	}
+	s.advertisers = append(s.advertisers, adv)
+	s.advBySite[adv.Site] = adv
+	resp := RegistrationResponse{Index: len(s.advertisers) - 1, Queriers: len(s.advertisers)}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleResults is GET /v1/results?querier=SITE&after=INDEX: released
+// results in canonical order, filtered to one querier if asked, strictly
+// after the client's cursor.
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	querier := r.URL.Query().Get("querier")
+	after := -1
+	if a := r.URL.Query().Get("after"); a != "" {
+		if _, err := fmt.Sscanf(a, "%d", &after); err != nil {
+			s.writeError(w, http.StatusBadRequest, reqErr(CodeMalformedJSON, "after must be an integer"))
+			return
+		}
+	}
+	resp := ResultsResponse{Results: []ResultWire{}}
+	s.mu.Lock()
+	for _, res := range s.results {
+		if res.Index <= after || (querier != "" && string(res.Querier) != querier) {
+			continue
+		}
+		resp.Results = append(resp.Results, wireFromResult(res))
+	}
+	resp.Complete = s.state == stateDone && s.runErr == nil
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleStats is GET /v1/stats.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.Lock()
+	st := s.statsLocked()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleMeta is GET /v1/meta.
+func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.Lock()
+	resp := MetaResponse{
+		Name:              s.cfg.Meta.Name,
+		PopulationDevices: s.cfg.Meta.PopulationDevices,
+		DurationDays:      s.cfg.Meta.DurationDays,
+		Queriers:          len(s.advertisers),
+		State:             stateString(s.state),
+		Resumed:           s.cfg.Scenario.Resume,
+	}
+	if s.state == stateDone && s.runErr != nil {
+		resp.State = "failed"
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleShutdown is POST /v1/shutdown: drain the run (final by default,
+// suspend with {"final": false}) and report its summary.
+func (s *Server) handleShutdown(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	final := true
+	var req ShutdownRequest
+	r.Body = http.MaxBytesReader(w, r.Body, MaxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(&req); err == nil && req.Final != nil {
+		final = *req.Final
+	}
+	run, err := s.Shutdown(r.Context(), final)
+	resp := ShutdownResponse{State: "done"}
+	if err != nil {
+		resp.State, resp.Error = "failed", err.Error()
+	}
+	if run != nil {
+		resp.EventsIngested = run.EventsIngested
+		resp.EventsDropped = run.EventsDropped
+		resp.Results = len(run.Results)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -628,6 +628,12 @@ func ResumeFrom(cfg Config, dir string) (*Service, error) {
 	}
 	s.run.Durability.RecoveryFallbacks = fallbacks
 	s.skip = s.run.EventsIngested
+	if cfg.LiveSource {
+		// A live feed never re-delivers the covered prefix — its admission
+		// layer dedupes against the very cursors the observers just rebuilt
+		// — so there is no prefix to skip: the next event drained is new.
+		s.skip = 0
+	}
 	// An empty directory holds no run to continue: leave resumed unset so
 	// Serve initializes it as a fresh run (a Serve-owned directory always
 	// carries a fingerprinted base from the very start, so a later
@@ -703,7 +709,9 @@ func (s *Service) restore(snap *snapState) error {
 	}
 
 	// Event store: live records re-recorded in their stored (Day, ID)
-	// order.
+	// order. The admission observer sees every restored event, so an
+	// external admission layer rebuilds its dedupe cursors from the same
+	// durable state the service resumes from.
 	for _, rec := range snap.Records {
 		evs, err := events.UnmarshalEvents(rec.Events)
 		if err != nil {
@@ -711,6 +719,7 @@ func (s *Service) restore(snap *snapState) error {
 		}
 		for _, ev := range evs {
 			s.db.Record(events.Epoch(rec.Epoch), ev)
+			s.observeAdmit(ev, false)
 		}
 	}
 
@@ -735,7 +744,9 @@ func (s *Service) restore(snap *snapState) error {
 		}
 	}
 
-	// Released results and the Fig. 4 accounting.
+	// Released results and the Fig. 4 accounting. Restored results replay
+	// through the result observer so the serving layer's poll buffer
+	// survives recovery.
 	for _, rs := range snap.Results {
 		s.run.Results = append(s.run.Results, Result{
 			Querier:        events.Site(rs.Querier),
@@ -755,6 +766,7 @@ func (s *Service) restore(snap *snapState) error {
 			LastEpoch:      events.Epoch(rs.LastEpoch),
 			AvgBudgetAfter: math.Float64frombits(rs.AvgBudgetAfter),
 		})
+		s.observeResult(s.run.Results[len(s.run.Results)-1])
 	}
 	if s.run.Requested != nil {
 		if err := decodeRequested(snap.Requested, s.run.Requested); err != nil {

@@ -82,6 +82,7 @@ func (s *Service) flushDue() error {
 		if err := s.fault(PointQueryExecuted); err != nil {
 			return err
 		}
+		s.observeResult(res)
 	}
 
 	// Batch completion: every nonce minted for today's queries has been

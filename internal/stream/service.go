@@ -175,6 +175,29 @@ type Config struct {
 	// FaultPoint) and can return an error to simulate a crash there. Test
 	// instrumentation; nil in production.
 	FaultHook FaultHook
+
+	// AdmitObserver, when non-nil, observes every admission decision the
+	// service commits: it fires once per drained event, after the event's
+	// WAL record was appended (live path) and the decision applied, with
+	// dropped reporting a LateDrop rejection. It also fires for every event
+	// carried by a restored snapshot and for every WAL record replayed
+	// during ResumeFrom, so an external admission layer (internal/serve)
+	// can rebuild its per-device dedupe cursors from the durable state.
+	// Execution-only: never part of the checkpoint fingerprint or the
+	// equivalence digests. The observer runs on the service goroutine and
+	// must not block.
+	AdmitObserver func(ev events.Event, dropped bool)
+	// ResultObserver, when non-nil, observes every released query result in
+	// canonical order, including results restored from a snapshot and
+	// results re-executed during WAL replay. Same execution-only contract
+	// as AdmitObserver.
+	ResultObserver func(res Result)
+	// LiveSource marks the source as an admission-filtered live feed (a
+	// network ingest tier) rather than a replayable trace: a resumed
+	// service must not skip a source prefix by count, because the feed
+	// delivers only events the durable state does not already cover — the
+	// serving layer's (device, seq) dedupe guarantees it. Execution-only.
+	LiveSource bool
 }
 
 // Snapshot representations for Config.SnapshotMode.
@@ -553,7 +576,16 @@ func (s *Service) Serve() (run *Run, err error) {
 			return nil, err
 		}
 	}
-	if s.started {
+	// A suspended source ended mid-trace (graceful shutdown of a live
+	// feed): the in-progress day must NOT flush — its remaining events
+	// arrive after resume, and day-d queries only fire once all of day d is
+	// in the store. A drained source reached the end of its trace, so the
+	// final day closes out exactly as the batch engine would.
+	suspended := false
+	if sus, ok := s.cfg.Source.(dataset.Suspender); ok {
+		suspended = sus.Suspended()
+	}
+	if s.started && !suspended {
 		if err := s.endOfDay(s.curDay + 1); err != nil {
 			return nil, err
 		}
@@ -561,28 +593,34 @@ func (s *Service) Serve() (run *Run, err error) {
 	if s.wal != nil {
 		// Final commit: harvest any in-flight generation, sync the log (so
 		// a crash during the final base write still recovers everything),
-		// then write the completed run's full state as a fresh base and
-		// collect the generations it supersedes.
+		// then write the run's full state as a fresh base and collect the
+		// generations it supersedes. A suspended run takes the same path —
+		// drained queue, synced log, final generation — unless a filled
+		// batch is awaiting its day flush: that state is WAL-derived only
+		// (snapshots are day-boundary states), so the suspend keeps the
+		// synced log and recovery rebuilds the batch by replay.
 		if err := s.harvestSnap(); err != nil {
 			return nil, err
 		}
 		if err := s.wal.Sync(); err != nil {
 			return nil, err
 		}
-		payload, err := json.Marshal(s.snapshot())
-		if err != nil {
-			return nil, fmt.Errorf("stream: encoding snapshot: %w", err)
-		}
-		gen := s.nextGen
-		s.nextGen++
-		fp, err := s.store.WriteBase(gen, payload)
-		if err != nil {
-			return nil, err
-		}
-		s.headGen, s.headFP = gen, fp
-		s.run.Durability.BaseBytes += int64(len(payload))
-		if err := s.store.GC(s.cfg.KeepGenerations); err != nil {
-			return nil, err
+		if !suspended || len(s.due) == 0 {
+			payload, err := json.Marshal(s.snapshot())
+			if err != nil {
+				return nil, fmt.Errorf("stream: encoding snapshot: %w", err)
+			}
+			gen := s.nextGen
+			s.nextGen++
+			fp, err := s.store.WriteBase(gen, payload)
+			if err != nil {
+				return nil, err
+			}
+			s.headGen, s.headFP = gen, fp
+			s.run.Durability.BaseBytes += int64(len(payload))
+			if err := s.store.GC(s.cfg.KeepGenerations); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return s.run, nil
@@ -717,7 +755,11 @@ func (s *Service) step(ev events.Event) error {
 		}
 		s.run.EventsIngested++
 		s.run.EventsDropped++
-		return s.fault(PointEventIngested)
+		if err := s.fault(PointEventIngested); err != nil {
+			return err
+		}
+		s.observeAdmit(ev, true)
+		return nil
 	}
 	if ev.Day > s.curDay {
 		if err := s.endOfDay(ev.Day); err != nil {
@@ -729,7 +771,28 @@ func (s *Service) step(ev events.Event) error {
 		return err
 	}
 	s.ingest(ev)
-	return s.fault(PointEventIngested)
+	if err := s.fault(PointEventIngested); err != nil {
+		return err
+	}
+	s.observeAdmit(ev, false)
+	return nil
+}
+
+// observeAdmit notifies the configured admission observer. It fires after
+// the fault point, so a simulated crash at PointEventIngested is a crash
+// between the WAL append and the externally visible acknowledgement — the
+// regime the serving layer's idempotent-retry test exercises.
+func (s *Service) observeAdmit(ev events.Event, dropped bool) {
+	if s.cfg.AdmitObserver != nil {
+		s.cfg.AdmitObserver(ev, dropped)
+	}
+}
+
+// observeResult notifies the configured result observer.
+func (s *Service) observeResult(res Result) {
+	if s.cfg.ResultObserver != nil {
+		s.cfg.ResultObserver(res)
+	}
 }
 
 // logWAL appends one drained event to the write-ahead log on the live path

@@ -73,6 +73,9 @@ func ExecuteSource(cfg Config, src dataset.Source) (*Run, error) {
 		GroupCommitBytes:     cfg.GroupCommitBytes,
 		DurableFS:            cfg.DurableFS,
 		FaultHook:            cfg.FaultHook,
+		AdmitObserver:        cfg.AdmitObserver,
+		ResultObserver:       cfg.ResultObserver,
+		LiveSource:           cfg.LiveSource,
 	}
 	if cfg.DropLate {
 		scfg.LatePolicy = stream.LateDrop
@@ -103,12 +106,14 @@ func ExecuteSource(cfg Config, src dataset.Source) (*Run, error) {
 	if err != nil {
 		return nil, err
 	}
-	return runFromStream(cfg, srun), nil
+	return RunFromStream(cfg, srun), nil
 }
 
-// runFromStream folds a completed streaming run into the workload's Run
+// RunFromStream folds a completed streaming run into the workload's Run
 // shape, field by field, preserving bit-identity with the batch engine.
-func runFromStream(cfg Config, srun *stream.Run) *Run {
+// The serving layer uses it to fold a network-fed service's run into the
+// same digestable shape every in-process run produces.
+func RunFromStream(cfg Config, srun *stream.Run) *Run {
 	r := &Run{
 		Config:         cfg,
 		TotalEpochs:    srun.TotalEpochs,

@@ -139,6 +139,20 @@ type Config struct {
 	// FaultHook is the streaming service's crash-injection seam (test
 	// instrumentation; see stream.FaultPoint). Nil in production.
 	FaultHook stream.FaultHook
+
+	// AdmitObserver and ResultObserver are the streaming service's
+	// execution-only observation hooks (see stream.Config): the serving
+	// layer (internal/serve) uses them to acknowledge requests once their
+	// events are WAL-logged and applied, rebuild its per-device dedupe
+	// cursors across recovery, and buffer released results for polling.
+	// Streaming mode only; never part of the equivalence digests.
+	AdmitObserver  func(ev events.Event, dropped bool)
+	ResultObserver func(res stream.Result)
+	// LiveSource marks the source handed to ExecuteSource as an
+	// admission-filtered live feed: a resumed run must not skip a source
+	// prefix by count, because the feed only delivers events the durable
+	// state does not cover. Streaming mode only.
+	LiveSource bool
 }
 
 // withDefaults fills zero values.
