@@ -43,6 +43,7 @@ const (
 // Stable machine-readable error codes carried by RequestError.
 const (
 	CodeMalformedJSON     = "malformed-json"
+	CodeBadQuery          = "bad-query"
 	CodeBodyTooLarge      = "body-too-large"
 	CodeTooManyEvents     = "too-many-events"
 	CodeBadID             = "bad-id"
@@ -251,8 +252,11 @@ type IngestRequest struct {
 }
 
 // IngestResponse acknowledges an ingest request: every event was either
-// admitted (and is WAL-logged by the time the response is sent) or
-// recognized as a duplicate of an already-admitted (device, seq).
+// admitted (and is WAL-logged and applied by the time the response is
+// sent) or recognized as a duplicate of an admission that is itself
+// durable by the time the response is sent — a duplicate of an event
+// still in the ingest queue is acknowledged only after that event
+// applies.
 type IngestResponse struct {
 	Accepted   int `json:"accepted"`
 	Duplicates int `json:"duplicates"`
@@ -310,7 +314,9 @@ func wireFromResult(res stream.Result) ResultWire {
 type ResultsResponse struct {
 	Results []ResultWire `json:"results"`
 	// Complete is true once the run finished cleanly: no further results
-	// will ever be released.
+	// will ever be released. A suspended run (shutdown with final=false)
+	// is not complete — it is resumable, and more results follow after
+	// resume.
 	Complete bool `json:"complete"`
 }
 
@@ -335,7 +341,10 @@ type MetaResponse struct {
 // closes out the trace: the in-progress day flushes and the run completes
 // as if the source had drained. final=false suspends instead: the queue
 // drains, the WAL syncs, a final generation commits, and the run can be
-// resumed from the checkpoint directory.
+// resumed from the checkpoint directory. An empty body selects the
+// default; a non-empty body that fails to decode is a 400 — shutdown is
+// irreversible, so a corrupted suspend request must not fall through to
+// the close-out default.
 type ShutdownRequest struct {
 	Final *bool `json:"final"`
 }

@@ -6,13 +6,16 @@
 // The serving contract, in one paragraph: a 200 on POST /v1/events means
 // every event in the batch is either admitted — appended to the
 // write-ahead log (when durability is on) and applied to the service
-// state — or recognized as a duplicate of an already-admitted (device,
-// seq); a 429 means the bounded admission queue pushed back and the whole
-// batch can be retried verbatim (the admitted prefix deduplicates); a 400
-// carries a typed RequestError and admits nothing. Admission order is
-// what the WAL records, so a server-fed run is bit-identical to the
-// in-process run over the same event sequence — the loopback equivalence
-// test holds it to the digest.
+// state — or recognized as a duplicate of an admission that is itself
+// durable by the time the response is sent (a duplicate of an event still
+// sitting in the ingest queue waits for that event to apply, so a retry
+// racing its original can never be acknowledged ahead of it); a 429 means
+// the bounded admission queue pushed back and the whole batch can be
+// retried verbatim (the admitted prefix deduplicates); a 400 carries a
+// typed RequestError and admits nothing. Admission order is what the WAL
+// records, so a server-fed run is bit-identical to the in-process run
+// over the same event sequence — the loopback equivalence test holds it
+// to the digest.
 package serve
 
 import (
@@ -20,8 +23,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"slices"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -75,6 +80,12 @@ func stateString(st int32) string {
 // cursor is one device's admission high-water mark: the (day, id) of its
 // newest admitted event. Admission requires strict (day, id) progress per
 // device, so the event ID doubles as the retry-dedupe sequence number.
+//
+// The server keeps two cursors per device. The dedupe cursor advances at
+// enqueue time and is what admission checks against; the applied cursor
+// advances only when the service commits the admission (onAdmit, after
+// the WAL append), and is what a 200 response waits on. The gap between
+// them is exactly the ingest queue.
 type cursor struct {
 	day int
 	id  events.EventID
@@ -82,13 +93,22 @@ type cursor struct {
 
 // before reports whether the cursor admits an event at (day, id).
 func (c cursor) before(ev events.Event) bool {
-	return c.day < ev.Day || (c.day == ev.Day && c.id < ev.ID)
+	return !c.covers(cursor{ev.Day, ev.ID})
 }
 
-// waiterKey identifies the admission acknowledgement a handler waits on.
-type waiterKey struct {
+// covers reports whether the cursor has reached (o.day, o.id): an
+// admission at that position is durable once the applied cursor covers it.
+func (c cursor) covers(o cursor) bool {
+	return c.day > o.day || (c.day == o.day && c.id >= o.id)
+}
+
+// appliedWaiter parks one handler until a device's applied cursor covers
+// a threshold — the batch's newest admission on that device. onAdmit
+// closes ch when the threshold is reached.
+type appliedWaiter struct {
 	device events.DeviceID
-	id     events.EventID
+	need   cursor
+	ch     chan struct{}
 }
 
 // netSource adapts the admission queue to dataset.Source: the service's
@@ -151,12 +171,15 @@ type Server struct {
 	advertisers []dataset.Advertiser
 	advBySite   map[events.Site]dataset.Advertiser
 	src         *netSource
-	cursors     map[events.DeviceID]cursor
-	waiters     map[waiterKey]chan struct{}
-	results     []stream.Result
-	stats       Stats
-	run         *workload.Run
-	runErr      error
+	// cursors is the dedupe cursor (advanced at enqueue); applied is the
+	// durable high-water mark (advanced in onAdmit). See type cursor.
+	cursors map[events.DeviceID]cursor
+	applied map[events.DeviceID]cursor
+	waiters map[events.DeviceID][]*appliedWaiter
+	results []stream.Result
+	stats   Stats
+	run     *workload.Run
+	runErr  error
 
 	done  chan struct{} // closed when the service goroutine finishes
 	ready chan struct{} // closed once admission may accept events
@@ -185,7 +208,8 @@ func NewServer(cfg Config) (*Server, error) {
 		cfg:       cfg,
 		advBySite: make(map[events.Site]dataset.Advertiser),
 		cursors:   make(map[events.DeviceID]cursor),
-		waiters:   make(map[waiterKey]chan struct{}),
+		applied:   make(map[events.DeviceID]cursor),
+		waiters:   make(map[events.DeviceID][]*appliedWaiter),
 		done:      make(chan struct{}),
 		ready:     make(chan struct{}),
 	}
@@ -255,23 +279,65 @@ func (s *Server) runService(wcfg workload.Config, src *netSource) {
 }
 
 // onAdmit runs on the service goroutine for every committed admission
-// decision — live, restored, or replayed. It advances the dedupe cursors
-// (so recovery rebuilds them from durable state) and acknowledges the
-// handler waiting on the event, which is what makes a 200 mean
-// "WAL-logged and applied", not "enqueued".
+// decision — live, restored, or replayed. It advances both cursors (so
+// recovery rebuilds them from durable state) and releases every handler
+// whose batch the applied cursor now covers, which is what makes a 200
+// mean "WAL-logged and applied", not "enqueued". A late drop advances the
+// cursors too: the admission decision is durable (WAL-logged, and carried
+// by snapshots as a drop mark) even though the event never reaches the
+// store, so a resumed server must keep rejecting its retries as
+// duplicates rather than re-admitting and re-dropping them.
 func (s *Server) onAdmit(ev events.Event, dropped bool) {
 	s.mu.Lock()
 	if dropped {
 		s.stats.LateDropped++
-	} else if c, ok := s.cursors[ev.Device]; !ok || c.before(ev) {
-		s.cursors[ev.Device] = cursor{ev.Day, ev.ID}
 	}
-	key := waiterKey{ev.Device, ev.ID}
-	if ch, ok := s.waiters[key]; ok {
-		delete(s.waiters, key)
-		close(ch)
+	c := cursor{ev.Day, ev.ID}
+	if prev, ok := s.applied[ev.Device]; !ok || prev.before(ev) {
+		s.applied[ev.Device] = c
+	}
+	if prev, ok := s.cursors[ev.Device]; !ok || prev.before(ev) {
+		s.cursors[ev.Device] = c
+	}
+	if ws, ok := s.waiters[ev.Device]; ok {
+		applied := s.applied[ev.Device]
+		kept := ws[:0]
+		for _, w := range ws {
+			if applied.covers(w.need) {
+				close(w.ch)
+			} else {
+				kept = append(kept, w)
+			}
+		}
+		if len(kept) == 0 {
+			delete(s.waiters, ev.Device)
+		} else {
+			s.waiters[ev.Device] = kept
+		}
 	}
 	s.mu.Unlock()
+}
+
+// resolveStopped runs when the service stopped while a handler was parked
+// on its waiters: any waiter still registered was not applied before the
+// stop, so the batch is not durable and the client must retry. Waiters
+// are deregistered either way.
+func (s *Server) resolveStopped(waits []*appliedWaiter) (pending bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, w := range waits {
+		ws := s.waiters[w.device]
+		if i := slices.Index(ws, w); i >= 0 {
+			ws = slices.Delete(ws, i, i+1)
+			if len(ws) == 0 {
+				delete(s.waiters, w.device)
+			} else {
+				s.waiters[w.device] = ws
+			}
+			pending = true
+		}
+	}
+	return pending
 }
 
 // onResult runs on the service goroutine for every released (or restored)
@@ -392,7 +458,10 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) (int, *RequestErr
 
 // handleEvents is POST /v1/events: validate the whole batch, admit it in
 // order under the dedupe cursors, and acknowledge only after the service
-// has WAL-logged and applied the batch's last admitted event.
+// has WAL-logged and applied the batch's last admitted event — or, for a
+// batch of pure duplicates, once the applied cursor covers every
+// duplicated admission, so a 200 means durable even when the originals
+// were still queued when the retry arrived.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
@@ -466,7 +535,8 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	accepted, duplicates := 0, 0
 	backpressured := false
-	var lastKey waiterKey
+	var lastDev events.DeviceID
+	var lastNeed cursor
 	for _, ev := range decoded {
 		if c, ok := s.cursors[ev.Device]; ok && !c.before(ev) {
 			duplicates++
@@ -475,7 +545,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		select {
 		case src.ch <- ev:
 			s.cursors[ev.Device] = cursor{ev.Day, ev.ID}
-			lastKey = waiterKey{ev.Device, ev.ID}
+			lastDev, lastNeed = ev.Device, cursor{ev.Day, ev.ID}
 			accepted++
 		default:
 			backpressured = true
@@ -486,12 +556,37 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	s.stats.EventsAccepted += int64(accepted)
 	s.stats.DuplicatesRejected += int64(duplicates)
-	var ack chan struct{}
-	if backpressured {
+	var waits []*appliedWaiter
+	switch {
+	case backpressured:
 		s.stats.Backpressured++
-	} else if accepted > 0 {
-		ack = make(chan struct{})
-		s.waiters[lastKey] = ack
+	case accepted > 0:
+		// The ingest channel is FIFO and onAdmit fires in drain order, so
+		// the batch's last enqueued event applying implies every earlier
+		// admission applied too — including the original behind each
+		// duplicate in this batch, which was necessarily enqueued first.
+		wt := &appliedWaiter{device: lastDev, need: lastNeed, ch: make(chan struct{})}
+		s.waiters[lastDev] = append(s.waiters[lastDev], wt)
+		waits = append(waits, wt)
+	case duplicates > 0:
+		// All-duplicate batch: the 200 still promises durability, and the
+		// originals may still be sitting in the ingest queue (a client
+		// retrying a timed-out batch races its own first delivery). Wait
+		// until the applied cursor covers each device's newest duplicate.
+		need := make(map[events.DeviceID]cursor)
+		for _, ev := range decoded {
+			if c, ok := need[ev.Device]; !ok || c.before(ev) {
+				need[ev.Device] = cursor{ev.Day, ev.ID}
+			}
+		}
+		for dev, c := range need {
+			if s.applied[dev].covers(c) {
+				continue
+			}
+			wt := &appliedWaiter{device: dev, need: c, ch: make(chan struct{})}
+			s.waiters[dev] = append(s.waiters[dev], wt)
+			waits = append(waits, wt)
+		}
 	}
 	s.mu.Unlock()
 
@@ -504,30 +599,26 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	if ack == nil {
-		writeJSON(w, http.StatusOK, IngestResponse{Accepted: 0, Duplicates: duplicates})
-		return
-	}
-	select {
-	case <-ack:
-		writeJSON(w, http.StatusOK, IngestResponse{Accepted: accepted, Duplicates: duplicates})
-	case <-s.done:
-		// The service stopped while the batch was queued. If the observer
-		// fired before the stop, the batch made it; otherwise it is not
-		// durable and the client must retry against a recovered server.
-		s.mu.Lock()
-		_, pending := s.waiters[lastKey]
-		delete(s.waiters, lastKey)
-		s.mu.Unlock()
-		if !pending {
-			writeJSON(w, http.StatusOK, IngestResponse{Accepted: accepted, Duplicates: duplicates})
-			return
+	for i, wt := range waits {
+		select {
+		case <-wt.ch:
+			continue
+		case <-s.done:
+			// The service stopped while the batch was in flight. Waiters
+			// the observer released before the stop are durable; any still
+			// registered are not, and the client must retry against a
+			// recovered server.
+			if s.resolveStopped(waits[i:]) {
+				writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{
+					Error: "service stopped before the batch was applied; retry after recovery",
+					Code:  CodeUnavailable,
+				})
+				return
+			}
 		}
-		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{
-			Error: "service stopped before the batch was applied; retry after recovery",
-			Code:  CodeUnavailable,
-		})
+		break
 	}
+	writeJSON(w, http.StatusOK, IngestResponse{Accepted: accepted, Duplicates: duplicates})
 }
 
 // handleQueries is POST /v1/queries (register a querier) and GET
@@ -604,10 +695,13 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	querier := r.URL.Query().Get("querier")
 	after := -1
 	if a := r.URL.Query().Get("after"); a != "" {
-		if _, err := fmt.Sscanf(a, "%d", &after); err != nil {
-			s.writeError(w, http.StatusBadRequest, reqErr(CodeMalformedJSON, "after must be an integer"))
+		n, err := strconv.Atoi(a)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest,
+				reqErr(CodeBadQuery, "after must be an integer, got %q", a))
 			return
 		}
+		after = n
 	}
 	resp := ResultsResponse{Results: []ResultWire{}}
 	s.mu.Lock()
@@ -617,7 +711,11 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Results = append(resp.Results, wireFromResult(res))
 	}
-	resp.Complete = s.state == stateDone && s.runErr == nil
+	// A suspended run also ends with a nil error, but it is resumable and
+	// more results will be released after resume — only a finished run may
+	// tell pollers to stop.
+	resp.Complete = s.state == stateDone && s.runErr == nil &&
+		(s.src == nil || !s.src.suspended.Load())
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -669,7 +767,23 @@ func (s *Server) handleShutdown(w http.ResponseWriter, r *http.Request) {
 	final := true
 	var req ShutdownRequest
 	r.Body = http.MaxBytesReader(w, r.Body, MaxBodyBytes)
-	if err := json.NewDecoder(r.Body).Decode(&req); err == nil && req.Final != nil {
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		// An empty body selects the default (final). Anything else that
+		// fails to decode is refused before the irreversible drain: a
+		// corrupted suspend request ({"final": false}) must not silently
+		// close out a run that was meant to stay resumable.
+		if !errors.Is(err, io.EOF) {
+			var tooLarge *http.MaxBytesError
+			if errors.As(err, &tooLarge) {
+				s.writeError(w, http.StatusRequestEntityTooLarge,
+					reqErr(CodeBodyTooLarge, "body exceeds %d bytes", MaxBodyBytes))
+				return
+			}
+			s.writeError(w, http.StatusBadRequest,
+				reqErr(CodeMalformedJSON, "decoding body: %v", err))
+			return
+		}
+	} else if req.Final != nil {
 		final = *req.Final
 	}
 	run, err := s.Shutdown(r.Context(), final)

@@ -295,6 +295,16 @@ type centralState struct {
 	Consumed uint64 `json:"c"`
 }
 
+// dropMarkState is one device's late-drop admission mark (see
+// Service.dropMarks): a durable admission decision the event store cannot
+// carry, persisted so external dedupe cursors survive a snapshot that
+// subsumes the WAL.
+type dropMarkState struct {
+	Device uint64 `json:"d"`
+	Day    int    `json:"day"`
+	ID     uint64 `json:"id"`
+}
+
 // snapState is the full snapshot payload.
 type snapState struct {
 	Schema int        `json:"schema"`
@@ -308,6 +318,10 @@ type snapState struct {
 	NextIndex      int   `json:"nextIndex"`
 	EvictFloor     int32 `json:"evictFloor"`
 	LastSnapDay    int   `json:"lastSnapDay"`
+	// DropMarks are the per-device late-drop admission marks, captured
+	// whole (the map holds at most one entry per device, and only while
+	// that device's newest admission was a drop).
+	DropMarks []dropMarkState `json:"dropMarks,omitempty"`
 
 	// Replay protection and noise streams.
 	NonceFloor   uint64     `json:"nonceFloor"`
@@ -483,6 +497,21 @@ func (s *Service) scalarSnap() *snapState {
 		RetiredNonces:       s.run.RetiredNonces,
 		ReleasedFilters:     s.run.ReleasedFilters,
 	}
+
+	for dev, m := range s.dropMarks {
+		snap.DropMarks = append(snap.DropMarks, dropMarkState{
+			Device: uint64(dev), Day: m.Day, ID: uint64(m.ID),
+		})
+	}
+	slices.SortFunc(snap.DropMarks, func(a, b dropMarkState) int {
+		switch {
+		case a.Device < b.Device:
+			return -1
+		case a.Device > b.Device:
+			return 1
+		}
+		return 0
+	})
 
 	watermark, seen := s.agg.SnapshotNonces()
 	snap.AggWatermark = uint64(watermark)
@@ -721,6 +750,19 @@ func (s *Service) restore(snap *snapState) error {
 			s.db.Record(events.Epoch(rec.Epoch), ev)
 			s.observeAdmit(ev, false)
 		}
+	}
+
+	// Late-drop admission marks: durable admission decisions with no event
+	// behind them. The observer sees each one as a dropped admission (the
+	// synthesized event carries only its identity), so the serving layer's
+	// dedupe cursor for a device whose newest admission was late-dropped
+	// does not regress across suspend/resume even after the snapshot has
+	// subsumed the WAL records of those drops.
+	for _, dm := range snap.DropMarks {
+		dev := events.DeviceID(dm.Device)
+		mark := dropMark{Day: dm.Day, ID: events.EventID(dm.ID)}
+		s.dropMarks[dev] = mark
+		s.observeAdmit(events.Event{ID: mark.ID, Device: dev, Day: mark.Day}, true)
 	}
 
 	// Planner cursor.

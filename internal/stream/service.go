@@ -180,9 +180,12 @@ type Config struct {
 	// service commits: it fires once per drained event, after the event's
 	// WAL record was appended (live path) and the decision applied, with
 	// dropped reporting a LateDrop rejection. It also fires for every event
-	// carried by a restored snapshot and for every WAL record replayed
-	// during ResumeFrom, so an external admission layer (internal/serve)
-	// can rebuild its per-device dedupe cursors from the durable state.
+	// carried by a restored snapshot, for every WAL record replayed during
+	// ResumeFrom, and (with dropped=true) for every restored late-drop
+	// mark — the latter carry only the admission identity (Device, Day,
+	// ID), since a dropped event's payload never reaches durable state —
+	// so an external admission layer (internal/serve) can rebuild its
+	// per-device dedupe cursors from the durable state.
 	// Execution-only: never part of the checkpoint fingerprint or the
 	// equivalence digests. The observer runs on the service goroutine and
 	// must not block.
@@ -405,6 +408,15 @@ type Service struct {
 	nextIndex  int
 	evictFloor events.Epoch
 
+	// dropMarks is the per-device late-drop admission high-water mark:
+	// the (day, id) of each device's newest dropped event, kept only while
+	// no later event for that device reaches the store. A dropped event is
+	// a durable admission decision that leaves no trace in the event store,
+	// so without these marks a snapshot that subsumes the WAL would lose
+	// the decision and an external admission layer (internal/serve) would
+	// regress its dedupe cursor across suspend/resume. Snapshot state.
+	dropMarks map[events.DeviceID]dropMark
+
 	// gen and the day buffers are the generate stage's cross-day reusable
 	// state: grouping scratch, per-worker multi-request workspaces, and the
 	// super-batch concatenation/output slices (see generateDay).
@@ -470,6 +482,7 @@ func New(cfg Config) (*Service, error) {
 			TotalEpochs: meta.Epochs(cfg.EpochDays),
 		},
 		evictFloor: events.Epoch(-1 << 31),
+		dropMarks:  make(map[events.DeviceID]dropMark),
 	}
 	policy := cfg.Policy
 	if policy == nil {
@@ -755,6 +768,9 @@ func (s *Service) step(ev events.Event) error {
 		}
 		s.run.EventsIngested++
 		s.run.EventsDropped++
+		if m, ok := s.dropMarks[ev.Device]; !ok || m.beforeEvent(ev) {
+			s.dropMarks[ev.Device] = dropMark{Day: ev.Day, ID: ev.ID}
+		}
 		if err := s.fault(PointEventIngested); err != nil {
 			return err
 		}
@@ -770,12 +786,32 @@ func (s *Service) step(ev events.Event) error {
 	if err := s.logWAL(ev); err != nil {
 		return err
 	}
+	if len(s.dropMarks) != 0 {
+		// A newer event reached the store, so the store itself now carries
+		// this device's admission high-water mark; the drop mark is spent.
+		if m, ok := s.dropMarks[ev.Device]; ok && m.beforeEvent(ev) {
+			delete(s.dropMarks, ev.Device)
+		}
+	}
 	s.ingest(ev)
 	if err := s.fault(PointEventIngested); err != nil {
 		return err
 	}
 	s.observeAdmit(ev, false)
 	return nil
+}
+
+// dropMark is one device's newest late-drop admission: the durable
+// (day, id) high-water mark of a decision the event store cannot carry.
+type dropMark struct {
+	Day int
+	ID  events.EventID
+}
+
+// beforeEvent reports whether the mark precedes ev in (Day, ID) admission
+// order.
+func (m dropMark) beforeEvent(ev events.Event) bool {
+	return m.Day < ev.Day || (m.Day == ev.Day && m.ID < ev.ID)
 }
 
 // observeAdmit notifies the configured admission observer. It fires after
