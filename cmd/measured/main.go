@@ -5,6 +5,7 @@
 //
 //	measured serve  -addr HOST:PORT (-trace FILE | -workload NAME | -population N -duration D) [scenario/durability flags]
 //	measured bench  [-target URL] (-trace FILE | -workload NAME) [-senders N -rps R -batch B -warmup F -out BENCH_serve.json]
+//	measured chaos  (-trace FILE | -workload NAME) [-senders N -batch B -apply-delay D -shed-delay D -out BENCH_chaos.json]
 //	measured export -workload NAME [-out FILE]
 //
 // serve boots an HTTP/JSON front door over the streaming service: devices
@@ -21,12 +22,21 @@
 // sustained throughput into a BENCH_serve.json rows file. Without
 // -target it boots an in-process server on a loopback port first.
 //
+// chaos measures the serving path under manufactured network trouble
+// (DESIGN.md §14): it boots an in-process server per profile — clean,
+// lossy, hostile, and a throttled server driven at 2x capacity with and
+// without overload shedding — runs the retrying load generator through a
+// fault-injecting transport (internal/netfault), and writes the measured
+// rows (sustained RPS, accepted-request p99, shed rate, retry
+// amplification) to a BENCH_chaos.json file.
+//
 // export writes a cataloged figure workload (internal/figures) as a
 // trace file — the workload interchange format serve and bench consume.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
@@ -39,7 +49,9 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/figures"
 	"repro/internal/loadgen"
+	"repro/internal/netfault"
 	"repro/internal/serve"
+	"repro/internal/stream"
 	"repro/internal/workload"
 )
 
@@ -54,6 +66,8 @@ func main() {
 		err = cmdServe(os.Args[2:])
 	case "bench":
 		err = cmdBench(os.Args[2:])
+	case "chaos":
+		err = cmdChaos(os.Args[2:])
 	case "export":
 		err = cmdExport(os.Args[2:])
 	case "-h", "-help", "--help", "help":
@@ -74,6 +88,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   measured serve  -addr HOST:PORT (-trace FILE | -workload NAME | -population N -duration D) [flags]
   measured bench  [-target URL] (-trace FILE | -workload NAME) [flags]
+  measured chaos  (-trace FILE | -workload NAME) [flags]
   measured export -workload NAME [-out FILE]`)
 }
 
@@ -192,6 +207,12 @@ func cmdServe(args []string) error {
 	population := fs.Int("population", 0, "device population (with -duration, instead of -trace/-workload)")
 	duration := fs.Int("duration", 0, "trace duration in days (with -population)")
 	ingestBuffer := fs.Int("ingest-buffer", 0, "bounded admission queue size (0 = 4096); overflow returns 429")
+	shedDelay := fs.Duration("shed-delay", 0,
+		"overload shedding threshold: 429 + Retry-After when the admission queue's head has waited longer (0 = disabled)")
+	readTimeout := fs.Duration("read-timeout", 5*time.Second,
+		"HTTP read-header timeout, the slow-loris guard (0 = none)")
+	idleTimeout := fs.Duration("idle-timeout", 2*time.Minute,
+		"HTTP keep-alive idle timeout (0 = none)")
 	signalFinal := fs.Bool("signal-final", false,
 		"on SIGTERM/SIGINT, close out the trace (flush the in-progress day and finish the run) "+
 			"instead of suspending into a resumable checkpoint")
@@ -207,7 +228,9 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	srv, err := serve.NewServer(serve.Config{Scenario: scenario, Meta: meta, IngestBuffer: *ingestBuffer})
+	srv, err := serve.NewServer(serve.Config{
+		Scenario: scenario, Meta: meta, IngestBuffer: *ingestBuffer, ShedDelay: *shedDelay,
+	})
 	if err != nil {
 		return err
 	}
@@ -216,7 +239,14 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	hs := &http.Server{Handler: srv.Handler()}
+	// No WriteTimeout: /v1/shutdown legitimately blocks for the drain, and
+	// ingest acks wait on applied durability. Slow-loris protection is the
+	// read-header timeout; idle keep-alive conns are reaped separately.
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: *readTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
 	httpDone := make(chan error, 1)
 	go func() { httpDone <- hs.Serve(ln) }()
 	fmt.Printf("measured: serving %s (%d devices, %d days, %d queriers) on http://%s\n",
@@ -280,6 +310,8 @@ func cmdBench(args []string) error {
 	out := fs.String("out", "BENCH_serve.json", "benchmark report path (empty = don't write)")
 	finalize := fs.Bool("finalize", true, "POST /v1/shutdown (final) after the load completes")
 	ingestBuffer := fs.Int("ingest-buffer", 0, "in-process server's admission queue size (0 = 4096)")
+	shedDelay := fs.Duration("shed-delay", 0,
+		"in-process server's overload shedding threshold (0 = disabled)")
 	sf := registerScenarioFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -300,7 +332,9 @@ func cmdBench(args []string) error {
 		}
 		meta := ds.Meta()
 		meta.Advertisers = nil // register over the API, like a real client
-		srv, err := serve.NewServer(serve.Config{Scenario: scenario, Meta: meta, IngestBuffer: *ingestBuffer})
+		srv, err := serve.NewServer(serve.Config{
+			Scenario: scenario, Meta: meta, IngestBuffer: *ingestBuffer, ShedDelay: *shedDelay,
+		})
 		if err != nil {
 			return err
 		}
@@ -308,7 +342,11 @@ func cmdBench(args []string) error {
 		if err != nil {
 			return err
 		}
-		hs := &http.Server{Handler: srv.Handler()}
+		hs := &http.Server{
+			Handler:           srv.Handler(),
+			ReadHeaderTimeout: 5 * time.Second,
+			IdleTimeout:       2 * time.Minute,
+		}
 		go func() { _ = hs.Serve(ln) }()
 		defer func() {
 			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
@@ -328,6 +366,7 @@ func cmdBench(args []string) error {
 		BatchSize:      *batch,
 		WarmupFraction: *warmup,
 		PollInterval:   time.Duration(*pollMs) * time.Millisecond,
+		Seed:           *sf.seed,
 	})
 	if err != nil {
 		return err
@@ -340,9 +379,10 @@ func cmdBench(args []string) error {
 	fmt.Printf("measured bench: %s: %d requests (%d events) in %.2fs — %.1f req/s, %.0f events/s\n",
 		report.Workload, report.Requests, report.EventsAccepted,
 		report.DurationSeconds, report.SustainedRPS, report.SustainedEventsPerSec)
-	fmt.Printf("  ingest latency ms: p50 %.3f  p95 %.3f  p99 %.3f   (retries: %d backpressure, %d unavailable)\n",
+	fmt.Printf("  ingest latency ms: p50 %.3f  p95 %.3f  p99 %.3f   (retries: %d backpressure, %d unavailable, %d transport; amplification %.3fx, %d give-ups)\n",
 		report.IngestP50Millis, report.IngestP95Millis, report.IngestP99Millis,
-		report.Retries429, report.Retries503)
+		report.Retries429, report.Retries503, report.RetriesNet,
+		report.RetryAmplification, report.GiveUps)
 	fmt.Printf("  query poll ms:     p50 %.3f  p95 %.3f  p99 %.3f   (%d polls, %d results)\n",
 		report.QueryP50Millis, report.QueryP95Millis, report.QueryP99Millis,
 		report.QueryPolls, report.ResultsFetched)
@@ -353,6 +393,186 @@ func cmdBench(args []string) error {
 		fmt.Printf("measured bench: wrote %s\n", *out)
 	}
 	return nil
+}
+
+// chaosProfile is one measured network regime: a client-side fault spec,
+// an optional server-side listener spec, an optional per-event apply
+// throttle fixing the service's capacity, a shedding threshold, and the
+// pacing as a multiple of that capacity.
+type chaosProfile struct {
+	name      string
+	client    *netfault.Spec
+	listener  *netfault.Spec
+	apply     time.Duration
+	shedDelay time.Duration
+	overload  float64
+}
+
+// chaosRow is one BENCH_chaos.json row: the load generator's report plus
+// the server's admission telemetry and the fault layer's own books.
+type chaosRow struct {
+	Profile string `json:"profile"`
+	*loadgen.Report
+	Server    serve.Stats    `json:"server"`
+	Transport netfault.Stats `json:"transport"`
+}
+
+func cmdChaos(args []string) error {
+	fs := flag.NewFlagSet("measured chaos", flag.ExitOnError)
+	tracePath := fs.String("trace", "", "trace file to send")
+	workloadName := fs.String("workload", "", "cataloged figure workload to send")
+	senders := fs.Int("senders", 6, "concurrent sender goroutines")
+	batch := fs.Int("batch", 128, "events per ingest request")
+	applyDelay := fs.Duration("apply-delay", 400*time.Microsecond,
+		"per-event apply throttle for the overload profiles; fixes the server's capacity")
+	shedDelay := fs.Duration("shed-delay", 25*time.Millisecond,
+		"shedding threshold for the overload-shed profile")
+	out := fs.String("out", "BENCH_chaos.json", "chaos report path (empty = don't write)")
+	sf := registerScenarioFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	_, ds, err := loadMeta(*tracePath, *workloadName, "", 0, 0)
+	if err != nil {
+		return err
+	}
+	if ds == nil || len(ds.Events) == 0 {
+		return fmt.Errorf("chaos needs a trace with events (-trace or -workload)")
+	}
+	scenario, err := sf.config()
+	if err != nil {
+		return err
+	}
+
+	seed := *sf.seed
+	lossy := netfault.Spec{
+		Seed: seed*0x9e3779b97f4a7c15 + 1, DialError: 0.02, ResponseDrop: 0.03,
+		DuplicateSend: 0.02, SendLatency: 0.2, MaxLatency: time.Millisecond,
+	}
+	hostileClient := netfault.Spec{
+		Seed: seed*0x9e3779b97f4a7c15 + 2, DialError: 0.05, ResponseDrop: 0.06,
+		DuplicateSend: 0.05, SendLatency: 0.3, MaxLatency: 2 * time.Millisecond,
+	}
+	hostileWire := netfault.Spec{
+		Seed: seed*0x517cc1b727220a95 + 3, ConnReset: 0.08, SlowConn: 0.03,
+	}
+	profiles := []chaosProfile{
+		{name: "clean"},
+		{name: "lossy", client: &lossy},
+		{name: "hostile", client: &hostileClient, listener: &hostileWire},
+		{name: "overload-noshed", apply: *applyDelay, overload: 2},
+		{name: "overload-shed", apply: *applyDelay, overload: 2, shedDelay: *shedDelay},
+	}
+
+	rows := make([]*chaosRow, 0, len(profiles))
+	for _, p := range profiles {
+		row, err := runChaosProfile(ds, scenario, p, *senders, *batch, seed)
+		if err != nil {
+			return fmt.Errorf("profile %s: %w", p.name, err)
+		}
+		fmt.Printf("measured chaos: %-16s %7.1f req/s  accepted p99 %8.3fms  shed %5d  amplification %.3fx  dups %d\n",
+			row.Profile, row.SustainedRPS, row.AcceptedP99Millis,
+			row.Server.Shed, row.RetryAmplification, row.Duplicates)
+		// The bench is self-checking: a give-up means the retry discipline
+		// wedged, and a shed response without Retry-After breaks the
+		// overload contract. Either fails the run, not just the numbers.
+		if row.GiveUps != 0 {
+			return fmt.Errorf("profile %s: %d give-ups (by sender: %v)", p.name, row.GiveUps, row.GiveUpsBySender)
+		}
+		if row.RetryAfterMissing != 0 {
+			return fmt.Errorf("profile %s: %d pushback responses lacked Retry-After", p.name, row.RetryAfterMissing)
+		}
+		rows = append(rows, row)
+	}
+	if *out != "" {
+		data, err := json.MarshalIndent(struct {
+			Rows []*chaosRow `json:"rows"`
+		}{Rows: rows}, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("measured chaos: wrote %s\n", *out)
+	}
+	return nil
+}
+
+// runChaosProfile boots a fresh in-process server for one profile, runs
+// the load generator through it, closes the run out directly (no HTTP, so
+// shutdown never tangles with the fault layer), and collects the row.
+func runChaosProfile(ds *dataset.Dataset, scenario workload.Config, p chaosProfile, senders, batch int, seed uint64) (*chaosRow, error) {
+	if p.apply > 0 {
+		delay := p.apply
+		scenario.FaultHook = func(pt stream.FaultPoint) error {
+			if pt == stream.PointEventIngested {
+				time.Sleep(delay)
+			}
+			return nil
+		}
+	}
+	meta := ds.Meta()
+	meta.Advertisers = nil // loadgen registers them
+	srv, err := serve.NewServer(serve.Config{Scenario: scenario, Meta: meta, ShedDelay: p.shedDelay})
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	serveLn := net.Listener(ln)
+	if p.listener != nil {
+		serveLn = netfault.WrapListener(ln, *p.listener)
+	}
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	go func() { _ = hs.Serve(serveLn) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(ctx)
+	}()
+
+	var client *http.Client
+	var tr *netfault.Transport
+	if p.client != nil {
+		tr = netfault.NewTransport(nil, *p.client)
+		client = &http.Client{Transport: tr, Timeout: 30 * time.Second}
+	}
+	// Overload pacing: the apply throttle fixes capacity in events/s, and
+	// the pacer drives the aggregate request rate at a multiple of it.
+	rps := 0.0
+	if p.overload > 0 && p.apply > 0 {
+		rps = p.overload * float64(time.Second) / float64(p.apply) / float64(batch)
+	}
+	rep, err := loadgen.Run(context.Background(), loadgen.Config{
+		Target:         "http://" + ln.Addr().String(),
+		Dataset:        ds,
+		Senders:        senders,
+		RPS:            rps,
+		BatchSize:      batch,
+		WarmupFraction: 0.1,
+		Seed:           seed,
+		Client:         client,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if _, err := srv.Shutdown(ctx, true); err != nil {
+		return nil, fmt.Errorf("closing out the run: %w", err)
+	}
+	row := &chaosRow{Profile: p.name, Report: rep, Server: srv.StatsSnapshot()}
+	if tr != nil {
+		row.Transport = tr.Stats()
+	}
+	return row, nil
 }
 
 func postShutdown(ctx context.Context, baseURL string) error {

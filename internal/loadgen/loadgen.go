@@ -10,8 +10,17 @@
 // (per-device order is still monotonic, which is all admission dedupe
 // needs), but no sender starts day d+1 until every sender finished day d,
 // matching the nondecreasing-day arrival contract of a real deployment's
-// day clock. Retries on 429/503 re-send the same batch verbatim, leaning
-// on the server's (device, seq) idempotency.
+// day clock.
+//
+// Retry discipline (DESIGN.md §14): a batch is retried verbatim on
+// pushback (429/503) and on transport errors — at-least-once delivery,
+// safe because the server's (device, seq) dedupe makes redelivery
+// idempotent. Each attempt carries its own deadline; waits between
+// attempts use capped exponential backoff with seeded equal-jitter, and
+// honor the server's Retry-After (header or precise retryAfterMs body
+// hint) when it asks for more. A batch still refused after MaxRetries is
+// a give-up: counted per sender, and the run fails loudly instead of
+// hanging on a wedged server.
 package loadgen
 
 import (
@@ -23,6 +32,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -55,11 +65,26 @@ type Config struct {
 	WarmupFraction float64
 	// PollInterval is the result poller's cadence (0 = 50ms).
 	PollInterval time.Duration
-	// Client overrides the HTTP client (nil = 30s-timeout default).
+	// Client overrides the HTTP client (nil = 30s-timeout default). Chaos
+	// harnesses install a netfault.Transport here.
 	Client *http.Client
-	// MaxRetries bounds per-batch retries on 429/503 before the run fails
-	// (0 = 2500, which at the 2ms floor is tens of seconds of pushback).
+	// MaxRetries bounds per-batch retries (pushback and transport errors
+	// alike) before the sender gives up and the run fails (0 = 2500,
+	// which at the 2ms floor is tens of seconds of pushback).
 	MaxRetries int
+	// RequestTimeout bounds each individual attempt (0 = 10s); the
+	// Client's own timeout still caps the whole exchange.
+	RequestTimeout time.Duration
+	// BaseBackoff and MaxBackoff bound the jittered exponential backoff
+	// between attempts (0 = 2ms and 250ms).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// MaxRetryAfter caps how long a server Retry-After hint is honored
+	// (0 = 30s) — a confused server must not park the client forever.
+	MaxRetryAfter time.Duration
+	// Seed drives the backoff jitter streams (per sender), so a load run
+	// is reproducible end to end.
+	Seed uint64
 }
 
 func (c Config) withDefaults() Config {
@@ -80,6 +105,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxRetries == 0 {
 		c.MaxRetries = 2500
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.BaseBackoff == 0 {
+		c.BaseBackoff = 2 * time.Millisecond
+	}
+	if c.MaxBackoff == 0 {
+		c.MaxBackoff = 250 * time.Millisecond
+	}
+	if c.MaxRetryAfter == 0 {
+		c.MaxRetryAfter = 30 * time.Second
 	}
 	return c
 }
@@ -112,6 +149,25 @@ type Report struct {
 	Duplicates     int `json:"duplicates"`
 	Retries429     int `json:"retries429"`
 	Retries503     int `json:"retries503"`
+	// RetriesNet counts attempts retried after transport-level failures
+	// (resets, timeouts, dropped responses) — the at-least-once path.
+	RetriesNet int `json:"retriesNet"`
+	// ShedObserved counts 429s carrying the overload-shed code, as
+	// distinct from queue-full backpressure.
+	ShedObserved int `json:"shedObserved"`
+	// RetryAfterWaits counts retry waits where the server supplied a
+	// Retry-After hint (honored up to MaxRetryAfter); RetryAfterMissing
+	// counts pushback responses lacking the header entirely — a server-
+	// side contract violation the bench surfaces.
+	RetryAfterWaits   int `json:"retryAfterWaits"`
+	RetryAfterMissing int `json:"retryAfterMissing"`
+	// GiveUps counts batches abandoned after MaxRetries (any give-up
+	// fails the run); GiveUpsBySender locates the wedged sender.
+	GiveUps         int   `json:"giveUps"`
+	GiveUpsBySender []int `json:"giveUpsBySender,omitempty"`
+	// RetryAmplification is attempts per unique batch: 1.0 on a clean
+	// network, rising with injected faults and pushback.
+	RetryAmplification float64 `json:"retryAmplification"`
 
 	DurationSeconds       float64 `json:"durationSeconds"`
 	SustainedRPS          float64 `json:"sustainedRPS"`
@@ -120,6 +176,13 @@ type Report struct {
 	IngestP50Millis float64 `json:"ingestP50Millis"`
 	IngestP95Millis float64 `json:"ingestP95Millis"`
 	IngestP99Millis float64 `json:"ingestP99Millis"`
+
+	// AcceptedP* are quantiles over accepted (200) attempts only — what
+	// admitted traffic experienced, excluding fast pushback round-trips.
+	// Under shedding this is the bounded-latency claim's metric.
+	AcceptedP50Millis float64 `json:"acceptedP50Millis"`
+	AcceptedP95Millis float64 `json:"acceptedP95Millis"`
+	AcceptedP99Millis float64 `json:"acceptedP99Millis"`
 
 	QueryPolls      int     `json:"queryPolls"`
 	ResultsFetched  int     `json:"resultsFetched"`
@@ -174,15 +237,23 @@ func (p *pacer) wait(ctx context.Context) bool {
 type generator struct {
 	cfg   Config
 	pacer *pacer
+	rngs  []*stats.RNG // per-sender jitter streams
 
 	mu          sync.Mutex
 	ingestMs    []float64 // POST /v1/events round-trip, send order
+	acceptedMs  []float64 // 200-attempt round-trips only
 	queryMs     []float64 // GET /v1/results round-trip, poll order
 	requests    int
+	batches     int
 	accepted    int
 	duplicates  int
 	retries429  int
 	retries503  int
+	retriesNet  int
+	shedSeen    int
+	raWaits     int
+	raMissing   int
+	giveUps     []int // per sender
 	polls       int
 	resultsSeen int
 }
@@ -190,12 +261,20 @@ type generator struct {
 // Run executes the load run: register queriers, stream the trace through
 // N senders, and measure. It returns the report; the server is left
 // serving (the caller decides whether to shut it down or keep feeding).
+// On failure the report is still returned alongside the error with
+// whatever was measured before the run died — give-up telemetry included
+// — so a wedged server fails loudly with its numbers attached.
 func Run(ctx context.Context, cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
 	g := &generator{cfg: cfg, pacer: newPacer(cfg.RPS)}
+	g.giveUps = make([]int, cfg.Senders)
+	g.rngs = make([]*stats.RNG, cfg.Senders)
+	for i := range g.rngs {
+		g.rngs[i] = stats.Stream(cfg.Seed, fmt.Sprintf("loadgen/sender/%d", i))
+	}
 	if err := g.register(ctx); err != nil {
 		return nil, err
 	}
@@ -239,12 +318,12 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 				continue
 			}
 			wg.Add(1)
-			go func(evs []events.Event) {
+			go func(sender int, evs []events.Event) {
 				defer wg.Done()
-				if err := g.sendDay(ctx, evs); err != nil {
+				if err := g.sendDay(ctx, sender, evs); err != nil {
 					errOnce.Do(func() { firstErr = err })
 				}
-			}(batch)
+			}(s, batch)
 		}
 		wg.Wait() // day barrier
 		if firstErr != nil {
@@ -254,35 +333,49 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	elapsed := time.Since(start)
 	stopPoll()
 	pollWG.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return g.report(sent, elapsed), nil
+	return g.report(sent, elapsed), firstErr
 }
 
-// register posts the dataset's queriers in order.
+// register posts the dataset's queriers in order, under the same retry
+// discipline as event batches (registration is idempotent server-side, so
+// a redelivered registration re-acks instead of conflicting).
 func (g *generator) register(ctx context.Context) error {
 	for _, a := range g.cfg.Dataset.Advertisers {
 		body, err := json.Marshal(serve.RegistrationFromAdvertiser(a))
 		if err != nil {
 			return err
 		}
-		status, respBody, err := g.post(ctx, "/v1/queries", body)
-		if err != nil {
-			return fmt.Errorf("loadgen: registering %s: %w", a.Site, err)
-		}
-		if status != http.StatusOK {
-			return fmt.Errorf("loadgen: registering %s: status %d: %s", a.Site, status, respBody)
+		backoff := newBackoff(g.cfg, g.rngs[0])
+		for attempt := 0; ; attempt++ {
+			status, respBody, hdr, err := g.post(ctx, "/v1/queries", body)
+			retryable := err != nil ||
+				status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
+			if !retryable {
+				if status != http.StatusOK {
+					return fmt.Errorf("loadgen: registering %s: status %d: %s", a.Site, status, respBody)
+				}
+				break
+			}
+			if attempt >= g.cfg.MaxRetries {
+				if err != nil {
+					return fmt.Errorf("loadgen: registering %s: %w", a.Site, err)
+				}
+				return fmt.Errorf("loadgen: registering %s: still refused (status %d) after %d retries",
+					a.Site, status, attempt)
+			}
+			if werr := backoff.sleep(ctx, retryHint(status, respBody, hdr, g.cfg.MaxRetryAfter)); werr != nil {
+				return werr
+			}
 		}
 	}
 	return nil
 }
 
 // sendDay streams one sender's slice of one day, batch by batch.
-func (g *generator) sendDay(ctx context.Context, evs []events.Event) error {
+func (g *generator) sendDay(ctx context.Context, sender int, evs []events.Event) error {
 	for len(evs) > 0 {
 		n := min(g.cfg.BatchSize, len(evs))
-		if err := g.sendBatch(ctx, evs[:n]); err != nil {
+		if err := g.sendBatch(ctx, sender, evs[:n]); err != nil {
 			return err
 		}
 		evs = evs[n:]
@@ -290,9 +383,70 @@ func (g *generator) sendDay(ctx context.Context, evs []events.Event) error {
 	return nil
 }
 
-// sendBatch posts one batch, retrying verbatim on backpressure (429) and
-// recovery (503) — the idempotency path — with a small backoff.
-func (g *generator) sendBatch(ctx context.Context, evs []events.Event) error {
+// backoff is one batch's wait policy: capped exponential with seeded
+// equal-jitter, overridden upward by server Retry-After hints.
+type backoff struct {
+	cur time.Duration
+	max time.Duration
+	rng *stats.RNG
+}
+
+func newBackoff(cfg Config, rng *stats.RNG) *backoff {
+	return &backoff{cur: cfg.BaseBackoff, max: cfg.MaxBackoff, rng: rng}
+}
+
+// sleep waits out one retry: equal-jitter on the current exponential step
+// (half fixed, half uniform), or the server's hint when it asks for more.
+func (b *backoff) sleep(ctx context.Context, hint time.Duration) error {
+	d := b.cur/2 + time.Duration(b.rng.Float64()*float64(b.cur/2))
+	if hint > d {
+		d = hint
+	}
+	if b.cur < b.max {
+		b.cur *= 2
+		if b.cur > b.max {
+			b.cur = b.max
+		}
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// retryHint extracts the server's retry guidance from a pushback
+// response: the precise retryAfterMs body field when present, else the
+// integer-seconds Retry-After header, capped at maxWait. Zero means the
+// server offered none.
+func retryHint(status int, body []byte, hdr http.Header, maxWait time.Duration) time.Duration {
+	if status != http.StatusTooManyRequests && status != http.StatusServiceUnavailable {
+		return 0
+	}
+	var hint time.Duration
+	var er serve.ErrorResponse
+	if err := json.Unmarshal(body, &er); err == nil && er.RetryAfterMs > 0 {
+		hint = time.Duration(er.RetryAfterMs) * time.Millisecond
+	} else if ra := hdr.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+			hint = time.Duration(secs) * time.Second
+		}
+	}
+	if hint > maxWait {
+		hint = maxWait
+	}
+	return hint
+}
+
+// sendBatch posts one batch, retrying verbatim on pushback (429/503) and
+// on transport errors — at-least-once, leaning on the server's
+// (device, seq) idempotency — under the jittered backoff discipline. A
+// batch still failing after MaxRetries is a give-up: counted against the
+// sender and returned as the run's error.
+func (g *generator) sendBatch(ctx context.Context, sender int, evs []events.Event) error {
 	req := serve.IngestRequest{Events: make([]serve.EventWire, len(evs))}
 	for i, ev := range evs {
 		req.Events[i] = serve.WireFromEvent(ev)
@@ -301,16 +455,36 @@ func (g *generator) sendBatch(ctx context.Context, evs []events.Event) error {
 	if err != nil {
 		return err
 	}
-	backoff := 2 * time.Millisecond
+	g.mu.Lock()
+	g.batches++
+	g.mu.Unlock()
+	bo := newBackoff(g.cfg, g.rngs[sender])
 	for attempt := 0; ; attempt++ {
 		if !g.pacer.wait(ctx) {
 			return ctx.Err()
 		}
+		attemptCtx, cancel := context.WithTimeout(ctx, g.cfg.RequestTimeout)
 		t0 := time.Now()
-		status, respBody, err := g.post(ctx, "/v1/events", body)
+		status, respBody, hdr, err := g.post(attemptCtx, "/v1/events", body)
 		rtt := time.Since(t0)
+		cancel()
 		if err != nil {
-			return fmt.Errorf("loadgen: POST /v1/events: %w", err)
+			// Transport-level failure: the server may or may not have
+			// processed the batch (lost-ack regime). Redelivery is safe —
+			// admitted events dedupe — so retry unless the run itself ended.
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			g.mu.Lock()
+			g.retriesNet++
+			g.mu.Unlock()
+			if attempt >= g.cfg.MaxRetries {
+				return g.giveUp(sender, fmt.Errorf("loadgen: POST /v1/events failing after %d retries: %w", attempt, err))
+			}
+			if werr := bo.sleep(ctx, 0); werr != nil {
+				return werr
+			}
+			continue
 		}
 		g.mu.Lock()
 		g.requests++
@@ -325,34 +499,48 @@ func (g *generator) sendBatch(ctx context.Context, evs []events.Event) error {
 			g.mu.Lock()
 			g.accepted += resp.Accepted
 			g.duplicates += resp.Duplicates
+			g.acceptedMs = append(g.acceptedMs, float64(rtt)/float64(time.Millisecond))
 			g.mu.Unlock()
 			return nil
 		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			var er serve.ErrorResponse
+			shed := json.Unmarshal(respBody, &er) == nil && er.Code == serve.CodeOverload
+			hint := retryHint(status, respBody, hdr, g.cfg.MaxRetryAfter)
 			g.mu.Lock()
 			if status == http.StatusTooManyRequests {
 				g.retries429++
 			} else {
 				g.retries503++
 			}
+			if shed {
+				g.shedSeen++
+			}
+			if hdr.Get("Retry-After") == "" {
+				g.raMissing++
+			}
+			if hint > 0 {
+				g.raWaits++
+			}
 			g.mu.Unlock()
 			if attempt >= g.cfg.MaxRetries {
-				return fmt.Errorf("loadgen: batch still refused (status %d) after %d retries",
-					status, attempt)
+				return g.giveUp(sender, fmt.Errorf("loadgen: batch still refused (status %d) after %d retries",
+					status, attempt))
 			}
-			t := time.NewTimer(backoff)
-			select {
-			case <-t.C:
-			case <-ctx.Done():
-				t.Stop()
-				return ctx.Err()
-			}
-			if backoff < 64*time.Millisecond {
-				backoff *= 2
+			if werr := bo.sleep(ctx, hint); werr != nil {
+				return werr
 			}
 		default:
 			return fmt.Errorf("loadgen: POST /v1/events: status %d: %s", status, respBody)
 		}
 	}
+}
+
+// giveUp records an abandoned batch against its sender and fails the run.
+func (g *generator) giveUp(sender int, err error) error {
+	g.mu.Lock()
+	g.giveUps[sender]++
+	g.mu.Unlock()
+	return fmt.Errorf("%w (sender %d gave up)", err, sender)
 }
 
 // poll is the querier side of the load: fetch new results on a fixed
@@ -390,11 +578,11 @@ func (g *generator) poll(ctx context.Context) {
 	}
 }
 
-func (g *generator) post(ctx context.Context, path string, body []byte) (int, []byte, error) {
+func (g *generator) post(ctx context.Context, path string, body []byte) (int, []byte, http.Header, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
 		g.cfg.Target+path, bytes.NewReader(body))
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	return g.do(req)
@@ -405,20 +593,21 @@ func (g *generator) get(ctx context.Context, path string) (int, []byte, error) {
 	if err != nil {
 		return 0, nil, err
 	}
-	return g.do(req)
+	status, body, _, err := g.do(req)
+	return status, body, err
 }
 
-func (g *generator) do(req *http.Request) (int, []byte, error) {
+func (g *generator) do(req *http.Request) (int, []byte, http.Header, error) {
 	resp, err := g.cfg.Client.Do(req)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(io.LimitReader(resp.Body, serve.MaxBodyBytes))
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
-	return resp.StatusCode, body, nil
+	return resp.StatusCode, body, resp.Header, nil
 }
 
 // report folds the samples into quantiles, discarding the warm-up prefix.
@@ -426,19 +615,34 @@ func (g *generator) report(sent int, elapsed time.Duration) *Report {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	r := &Report{
-		Workload:        g.cfg.Dataset.Name,
-		Senders:         g.cfg.Senders,
-		TargetRPS:       g.cfg.RPS,
-		BatchSize:       g.cfg.BatchSize,
-		Requests:        g.requests,
-		EventsSent:      sent,
-		EventsAccepted:  g.accepted,
-		Duplicates:      g.duplicates,
-		Retries429:      g.retries429,
-		Retries503:      g.retries503,
-		DurationSeconds: elapsed.Seconds(),
-		QueryPolls:      g.polls,
-		ResultsFetched:  g.resultsSeen,
+		Workload:          g.cfg.Dataset.Name,
+		Senders:           g.cfg.Senders,
+		TargetRPS:         g.cfg.RPS,
+		BatchSize:         g.cfg.BatchSize,
+		Requests:          g.requests,
+		EventsSent:        sent,
+		EventsAccepted:    g.accepted,
+		Duplicates:        g.duplicates,
+		Retries429:        g.retries429,
+		Retries503:        g.retries503,
+		RetriesNet:        g.retriesNet,
+		ShedObserved:      g.shedSeen,
+		RetryAfterWaits:   g.raWaits,
+		RetryAfterMissing: g.raMissing,
+		DurationSeconds:   elapsed.Seconds(),
+		QueryPolls:        g.polls,
+		ResultsFetched:    g.resultsSeen,
+	}
+	for _, n := range g.giveUps {
+		r.GiveUps += n
+	}
+	if r.GiveUps > 0 {
+		r.GiveUpsBySender = append([]int(nil), g.giveUps...)
+	}
+	if g.batches > 0 {
+		// Attempts per unique batch: successful requests plus every retried
+		// attempt (pushback and transport failures alike).
+		r.RetryAmplification = float64(g.requests+g.retriesNet) / float64(g.batches)
 	}
 	if elapsed > 0 {
 		r.SustainedRPS = float64(g.requests) / elapsed.Seconds()
@@ -450,6 +654,7 @@ func (g *generator) report(sent int, elapsed time.Duration) *Report {
 		ingest = ingest[cut:]
 	}
 	r.IngestP50Millis, r.IngestP95Millis, r.IngestP99Millis = quantiles(ingest)
+	r.AcceptedP50Millis, r.AcceptedP95Millis, r.AcceptedP99Millis = quantiles(g.acceptedMs)
 	r.QueryP50Millis, r.QueryP95Millis, r.QueryP99Millis = quantiles(g.queryMs)
 	return r
 }

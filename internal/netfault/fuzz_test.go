@@ -1,0 +1,68 @@
+package netfault
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// FuzzNetFaultConn holds the conn wrapper to its framing contract: under
+// any seed and fault intensity, the wrapper never panics and never
+// silently corrupts framing — the bytes a reader receives are always a
+// prefix of the bytes the writer sent. (The transport layer, not the
+// conn, is what may duplicate whole requests.)
+func FuzzNetFaultConn(f *testing.F) {
+	f.Add(uint64(1), []byte("hello world"), 0.0, 0.0)
+	f.Add(uint64(2), bytes.Repeat([]byte("abcdefgh"), 64), 1.0, 0.0)
+	f.Add(uint64(3), bytes.Repeat([]byte{0x00, 0xff}, 300), 0.0, 1.0)
+	f.Add(uint64(4), []byte("POST /v1/events HTTP/1.1\r\nHost: x\r\n\r\n{}"), 0.5, 0.5)
+	f.Add(uint64(5), []byte{}, 1.0, 1.0)
+
+	f.Fuzz(func(t *testing.T, seed uint64, payload []byte, reset float64, slow float64) {
+		if len(payload) > 1<<13 {
+			payload = payload[:1<<13]
+		}
+		server, client := net.Pipe()
+		defer client.Close()
+		fc := WrapConn(server, Spec{
+			Seed:        seed,
+			ConnReset:   clamp01(reset),
+			ResetBudget: 1 + int(seed%512),
+			SlowConn:    clamp01(slow),
+			SlowChunk:   1 + int(seed%16),
+			SlowDelay:   10 * time.Microsecond,
+		})
+		defer fc.Close()
+
+		// Writer pushes the payload through the fault conn; reader drains
+		// the raw end. Deadline on the raw side bounds the slow-loris path.
+		client.SetDeadline(time.Now().Add(10 * time.Second))
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			fc.Write(payload)
+			fc.Close()
+		}()
+		got, _ := io.ReadAll(client)
+		<-done
+
+		if len(got) > len(payload) {
+			t.Fatalf("conn delivered %d bytes, only %d sent", len(got), len(payload))
+		}
+		if !bytes.Equal(got, payload[:len(got)]) {
+			t.Fatalf("delivered bytes are not a prefix of sent bytes")
+		}
+	})
+}
+
+func clamp01(p float64) float64 {
+	if p < 0 || p != p {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}

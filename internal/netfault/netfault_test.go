@@ -1,0 +1,207 @@
+package netfault
+
+import (
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestInjectorDeterministic(t *testing.T) {
+	a := newInjector(Spec{Seed: 42})
+	b := newInjector(Spec{Seed: 42})
+	for i := 0; i < 1000; i++ {
+		if a.hit(0.3) != b.hit(0.3) {
+			t.Fatalf("hit sequence diverged at op %d", i)
+		}
+		if a.draw(97) != b.draw(97) {
+			t.Fatalf("draw sequence diverged at op %d", i)
+		}
+	}
+}
+
+func TestInjectorBudget(t *testing.T) {
+	inj := newInjector(Spec{Seed: 7, MaxFaults: 5})
+	hits := 0
+	for i := 0; i < 10000; i++ {
+		if inj.hit(0.9) {
+			hits++
+		}
+	}
+	if hits != 5 {
+		t.Fatalf("budget of 5 produced %d faults", hits)
+	}
+}
+
+func TestTransportCleanSpecIsTransparent(t *testing.T) {
+	var served atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served.Add(1)
+		io.WriteString(w, "ok")
+	}))
+	defer ts.Close()
+
+	tr := NewTransport(nil, Spec{Seed: 1})
+	client := &http.Client{Transport: tr}
+	for i := 0; i < 50; i++ {
+		resp, err := client.Post(ts.URL, "text/plain", strings.NewReader("hello"))
+		if err != nil {
+			t.Fatalf("clean transport errored: %v", err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if string(body) != "ok" {
+			t.Fatalf("body = %q", body)
+		}
+	}
+	if served.Load() != 50 {
+		t.Fatalf("server saw %d requests, want 50", served.Load())
+	}
+	if s := tr.Stats(); s.Delivered != 50 || s.DialErrors+s.ResponseDrops+s.DuplicateSends != 0 {
+		t.Fatalf("clean transport stats = %+v", s)
+	}
+}
+
+// TestTransportObserverAccounting drives a counting server through a
+// hostile transport and checks the books: every server-side request is
+// observed exactly once, and client-visible successes + drops +
+// superseded duplicates equal deliveries.
+func TestTransportObserverAccounting(t *testing.T) {
+	var served atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		served.Add(1)
+		io.WriteString(w, "ok")
+	}))
+	defer ts.Close()
+
+	tr := NewTransport(nil, Spec{
+		Seed:          99,
+		DialError:     0.1,
+		ResponseDrop:  0.15,
+		DuplicateSend: 0.15,
+		SendLatency:   0.1,
+		MaxLatency:    200 * time.Microsecond,
+	})
+	var observed, observedDropped atomic.Int64
+	tr.Observer = func(req *http.Request, status int, body []byte, dropped bool) {
+		if status != http.StatusOK || string(body) != "ok" {
+			t.Errorf("observer saw status=%d body=%q", status, body)
+		}
+		observed.Add(1)
+		if dropped {
+			observedDropped.Add(1)
+		}
+	}
+	client := &http.Client{Transport: tr}
+
+	var ok, failed int64
+	for i := 0; i < 400; i++ {
+		resp, err := client.Post(ts.URL, "text/plain", strings.NewReader("payload"))
+		if err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("non-injected transport error: %v", err)
+			}
+			failed++
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		ok++
+	}
+
+	s := tr.Stats()
+	if s.DialErrors == 0 || s.ResponseDrops == 0 || s.DuplicateSends == 0 {
+		t.Fatalf("hostile spec injected nothing: %+v", s)
+	}
+	if served.Load() != s.Delivered {
+		t.Fatalf("server served %d, transport delivered %d", served.Load(), s.Delivered)
+	}
+	if observed.Load() != s.Delivered {
+		t.Fatalf("observer saw %d exchanges, transport delivered %d", observed.Load(), s.Delivered)
+	}
+	if got, want := observedDropped.Load(), s.ResponseDrops+s.DuplicateSends; got != want {
+		t.Fatalf("observer saw %d dropped, stats say %d", got, want)
+	}
+	// Client-visible outcomes partition deliveries: each success consumed
+	// one delivery plus one per manufactured duplicate; each drop consumed
+	// one (plus its duplicates, already counted).
+	if got, want := ok+s.ResponseDrops+s.DuplicateSends, s.Delivered; got != want {
+		t.Fatalf("delivery books don't balance: ok=%d drops=%d dups=%d delivered=%d",
+			ok, s.ResponseDrops, s.DuplicateSends, s.Delivered)
+	}
+	if failed != s.DialErrors+s.ResponseDrops {
+		t.Fatalf("client failures %d != dial %d + drops %d", failed, s.DialErrors, s.ResponseDrops)
+	}
+}
+
+func TestListenerConnReset(t *testing.T) {
+	base, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := WrapListener(base, Spec{Seed: 5, ConnReset: 1.0, ResetBudget: 256})
+	defer ln.Close()
+
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				buf := make([]byte, 4096)
+				for {
+					if _, err := c.Read(buf); err != nil {
+						return
+					}
+				}
+			}(c)
+		}
+	}()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+	payload := make([]byte, 1024)
+	// The armed conn must fail within the byte budget; the client
+	// eventually observes a write error or EOF rather than hanging.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, err := conn.Write(payload); err != nil {
+			if ln.Stats().ConnResets == 0 {
+				t.Fatalf("conn failed but no reset recorded")
+			}
+			return
+		}
+	}
+	t.Fatal("reset-armed conn accepted writes past its budget")
+}
+
+func TestSlowConnDeliversIntact(t *testing.T) {
+	server, client := net.Pipe()
+	defer client.Close()
+	fc := WrapConn(server, Spec{Seed: 3, SlowConn: 1.0, SlowChunk: 7, SlowDelay: 50 * time.Microsecond})
+	defer fc.Close()
+
+	msg := []byte("the quick brown fox jumps over the lazy dog 0123456789")
+	go func() {
+		fc.Write(msg)
+	}()
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(client, got); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if string(got) != string(msg) {
+		t.Fatalf("slow conn corrupted payload: %q", got)
+	}
+}

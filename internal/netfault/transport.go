@@ -1,0 +1,144 @@
+package netfault
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// Observer sees every exchange the server fully processed through a
+// Transport — including exchanges whose response was then dropped or
+// superseded by a manufactured duplicate, which the client itself never
+// observes. status and body are the server's actual response; dropped
+// reports whether the fault layer discarded it afterwards. The
+// convergence property hangs its duplicate accounting on this hook: the
+// observer's view is exactly the server's view of delivered traffic.
+type Observer func(req *http.Request, status int, body []byte, dropped bool)
+
+// Transport is a fault-injecting http.RoundTripper. Faults are decided
+// per request in a fixed order (latency, dial error, duplicate send,
+// response drop) from the seeded stream, so a given seed and request
+// sequence replays the same schedule.
+type Transport struct {
+	base http.RoundTripper
+	spec Spec
+	inj  *injector
+
+	// Observer, if set, is called for every delivered exchange.
+	Observer Observer
+
+	delivered      atomic.Int64
+	dialErrors     atomic.Int64
+	responseDrops  atomic.Int64
+	duplicateSends atomic.Int64
+	latencies      atomic.Int64
+}
+
+// NewTransport wraps base (nil = http.DefaultTransport) with the faults
+// described by spec.
+func NewTransport(base http.RoundTripper, spec Spec) *Transport {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	spec = spec.withDefaults()
+	return &Transport{base: base, spec: spec, inj: newInjector(spec)}
+}
+
+// Stats snapshots the transport's fault telemetry.
+func (t *Transport) Stats() Stats {
+	return Stats{
+		Delivered:      t.delivered.Load(),
+		DialErrors:     t.dialErrors.Load(),
+		ResponseDrops:  t.responseDrops.Load(),
+		DuplicateSends: t.duplicateSends.Load(),
+		Latencies:      t.latencies.Load(),
+	}
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if t.inj.hit(t.spec.SendLatency) {
+		t.latencies.Add(1)
+		time.Sleep(time.Duration(t.inj.draw(int64(t.spec.MaxLatency))))
+	}
+
+	if t.inj.hit(t.spec.DialError) {
+		t.dialErrors.Add(1)
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, fmt.Errorf("%w: dial %s: connection timed out", ErrInjected, req.URL.Host)
+	}
+
+	resp, err := t.deliver(req)
+	if err != nil {
+		return nil, err
+	}
+
+	// A duplicate send delivers the same request again, as a retrying
+	// middlebox would; the client sees the second response. Requires a
+	// replayable body (GetBody), which net/http sets for buffered bodies.
+	if t.inj.hit(t.spec.DuplicateSend) && (req.Body == nil || req.GetBody != nil) {
+		if dup, err2 := cloneRequest(req); err2 == nil {
+			if resp2, err2 := t.deliver(dup); err2 == nil {
+				t.duplicateSends.Add(1)
+				t.observe(req, resp, true)
+				resp.Body.Close()
+				resp = resp2
+			}
+		}
+	}
+
+	if t.inj.hit(t.spec.ResponseDrop) {
+		t.responseDrops.Add(1)
+		t.observe(req, resp, true)
+		resp.Body.Close()
+		return nil, fmt.Errorf("%w: read response from %s: connection reset by peer", ErrInjected, req.URL.Host)
+	}
+
+	t.observe(req, resp, false)
+	return resp, nil
+}
+
+// deliver performs one real exchange and buffers the response body so the
+// observer can read it and the fault layer can still hand the response
+// (or its duplicate's) to the caller; the underlying connection is fully
+// drained and stays reusable.
+func (t *Transport) deliver(req *http.Request) (*http.Response, error) {
+	resp, err := t.base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	resp.Body = io.NopCloser(bytes.NewReader(body))
+	t.delivered.Add(1)
+	return resp, nil
+}
+
+func (t *Transport) observe(req *http.Request, resp *http.Response, dropped bool) {
+	if t.Observer == nil {
+		return
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body = io.NopCloser(bytes.NewReader(body))
+	t.Observer(req, resp.StatusCode, body, dropped)
+}
+
+func cloneRequest(req *http.Request) (*http.Request, error) {
+	dup := req.Clone(req.Context())
+	if req.GetBody != nil {
+		body, err := req.GetBody()
+		if err != nil {
+			return nil, err
+		}
+		dup.Body = body
+	}
+	return dup, nil
+}

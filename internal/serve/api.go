@@ -57,6 +57,7 @@ const (
 	CodeSealed            = "registration-sealed"
 	CodeConflict          = "registration-conflict"
 	CodeBackpressure      = "backpressure"
+	CodeOverload          = "overload-shed"
 	CodeUnavailable       = "unavailable"
 )
 
@@ -268,9 +269,17 @@ type ErrorResponse struct {
 	Code  string `json:"code,omitempty"`
 	// Index is the offending event's batch position (validation errors).
 	Index int `json:"index,omitempty"`
-	// Accepted reports the admitted prefix of a backpressured (429)
-	// request; the whole batch can be retried, the prefix deduplicates.
-	Accepted int `json:"accepted,omitempty"`
+	// Accepted and Duplicates report the processed prefix of a
+	// backpressured (429) request — events admitted and dedupe hits before
+	// the queue pushed back; the whole batch can be retried, the prefix
+	// deduplicates.
+	Accepted   int `json:"accepted,omitempty"`
+	Duplicates int `json:"duplicates,omitempty"`
+	// RetryAfterMs is a precise retry hint on pushback responses
+	// (CodeBackpressure, CodeOverload, CodeUnavailable), mirroring the
+	// integer-seconds Retry-After header for clients with sub-second
+	// backoff.
+	RetryAfterMs int64 `json:"retryAfterMs,omitempty"`
 }
 
 // ResultWire is one released query result, querier-facing: the noisy

@@ -1,0 +1,401 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/figures"
+	"repro/internal/loadgen"
+	"repro/internal/netfault"
+	"repro/internal/serve"
+	"repro/internal/stream"
+	"repro/internal/workload"
+)
+
+// chaos_test.go is the headline robustness property (DESIGN.md §14):
+// random network-fault schedules — lost acks, duplicated sends, dial
+// errors, connection resets, slow conns — composed with mid-run crashes
+// and resume, driven by the real retrying load generator, must converge
+// to the exact batch-reference digest, with the dedupe telemetry
+// accounting for every duplicate the fault layer manufactured.
+
+// chaosAccounts is the duplicate ledger, fed by a netfault Transport
+// Observer: it sees every /v1/events exchange the server fully processed,
+// including deliveries whose acks the fault layer then dropped — exactly
+// the traffic the client itself cannot see. Batches are keyed by payload
+// hash, so deliveries beyond a batch's first successful one are the
+// manufactured duplicates the server's dedupe must have rejected.
+type chaosAccounts struct {
+	mu         sync.Mutex
+	accepted   int
+	duplicates int
+	deliveries map[[sha256.Size]byte]int
+	sizes      map[[sha256.Size]byte]int
+}
+
+func newChaosAccounts() *chaosAccounts {
+	return &chaosAccounts{
+		deliveries: make(map[[sha256.Size]byte]int),
+		sizes:      make(map[[sha256.Size]byte]int),
+	}
+}
+
+func (a *chaosAccounts) observe(req *http.Request, status int, body []byte, dropped bool) {
+	// Only successful ingest exchanges admit events; recovery 503s and
+	// poll GETs contribute nothing to the admission books.
+	if req.Method != http.MethodPost || req.URL.Path != "/v1/events" || status != http.StatusOK {
+		return
+	}
+	var ir serve.IngestResponse
+	if json.Unmarshal(body, &ir) != nil {
+		return
+	}
+	var payload []byte
+	if req.GetBody != nil {
+		if rc, err := req.GetBody(); err == nil {
+			payload, _ = io.ReadAll(rc)
+			rc.Close()
+		}
+	}
+	size := 0
+	var batch serve.IngestRequest
+	if json.Unmarshal(payload, &batch) == nil {
+		size = len(batch.Events)
+	}
+	key := sha256.Sum256(payload)
+	a.mu.Lock()
+	a.accepted += ir.Accepted
+	a.duplicates += ir.Duplicates
+	a.deliveries[key]++
+	a.sizes[key] = size
+	a.mu.Unlock()
+}
+
+// books returns the observer's totals: events admitted, dedupe rejections
+// reported on the wire, and the duplicates the fault layer manufactured
+// (every successful delivery of a batch beyond its first redelivers the
+// whole already-admitted batch).
+func (a *chaosAccounts) books() (accepted, duplicates, manufactured int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for key, n := range a.deliveries {
+		if n > 1 {
+			manufactured += (n - 1) * a.sizes[key]
+		}
+	}
+	return a.accepted, a.duplicates, manufactured
+}
+
+// chaosClient wraps a test server's client transport in a fault layer.
+func chaosClient(hs *httptest.Server, spec netfault.Spec, obs netfault.Observer) (*http.Client, *netfault.Transport) {
+	tr := netfault.NewTransport(hs.Client().Transport, spec)
+	tr.Observer = obs
+	return &http.Client{Transport: tr, Timeout: 30 * time.Second}, tr
+}
+
+// TestNetChaosConvergence runs the cookie-monster trace through the full
+// serving stack under seeded random fault schedules and checks the run
+// converges to the batch reference bit for bit. Seeds rotate through
+// three regimes:
+//
+//   - client: transport faults only (lost acks, duplicate sends, dial
+//     errors, latency). The clean server lets the observer's ledger hold
+//     exactly: every admission and every manufactured duplicate accounted.
+//   - server: client faults plus a fault-armed listener (connection
+//     resets, slow-loris conns). Server-side resets redeliver invisibly
+//     to the client-side observer, so the regime checks conservation —
+//     every event admitted exactly once — and the digest.
+//   - crash: client faults plus a seeded mid-run crash at the WAL fault
+//     point, then resume and a full-trace replay under a fresh fault
+//     schedule. Dedupe sorts out what was durable; the stitched run must
+//     still match the reference.
+func TestNetChaosConvergence(t *testing.T) {
+	ref, err := figures.BatchRef("cookie-monster")
+	if err != nil {
+		t.Fatalf("batch reference: %v", err)
+	}
+	want := ref.CanonicalDigest()
+	w, err := figures.ByName("cookie-monster")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	seeds := 50
+	if testing.Short() {
+		seeds = 8
+	}
+	regimes := [...]string{"client", "server", "crash"}
+	for seed := 0; seed < seeds; seed++ {
+		t.Run(fmt.Sprintf("seed-%02d-%s", seed, regimes[seed%3]), func(t *testing.T) {
+			cfg, err := w.Config()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ds := cfg.Dataset
+			rng := rand.New(rand.NewSource(int64(seed)*7919 + 1))
+			cspec := netfault.Spec{
+				Seed:          uint64(seed)*0x9e3779b97f4a7c15 + 0xa5,
+				DialError:     0.02 + 0.06*rng.Float64(),
+				ResponseDrop:  0.03 + 0.07*rng.Float64(),
+				DuplicateSend: 0.03 + 0.07*rng.Float64(),
+				SendLatency:   0.25 * rng.Float64(),
+				MaxLatency:    time.Millisecond,
+			}
+			switch seed % 3 {
+			case 0:
+				runClientFaultSeed(t, want, scenarioForServing(cfg), ds, cspec)
+			case 1:
+				sspec := netfault.Spec{
+					Seed:      uint64(seed)*0x517cc1b727220a95 + 0xb7,
+					ConnReset: 0.04 + 0.10*rng.Float64(),
+					SlowConn:  0.06 * rng.Float64(),
+				}
+				runServerFaultSeed(t, want, scenarioForServing(cfg), ds, cspec, sspec)
+			case 2:
+				countdown := int64(400 + (seed*431)%3000)
+				runCrashResumeSeed(t, want, scenarioForServing(cfg), ds, cspec, countdown)
+			}
+		})
+	}
+}
+
+// runClientFaultSeed is the exact-accounting regime: a clean server, a
+// faulty transport, and a ledger that must balance to the event.
+func runClientFaultSeed(t *testing.T, want string, scenario workload.Config, ds *dataset.Dataset, cspec netfault.Spec) {
+	meta := ds.Meta()
+	meta.Advertisers = nil // loadgen registers them
+	ts := newTestServer(t, serve.Config{Scenario: scenario, Meta: meta})
+
+	acct := newChaosAccounts()
+	client, tr := chaosClient(ts.http, cspec, acct.observe)
+	rep, err := loadgen.Run(context.Background(), loadgen.Config{
+		Target: ts.http.URL, Dataset: ds, Senders: 1, BatchSize: 128,
+		Client: client, Seed: cspec.Seed,
+	})
+	if err != nil {
+		t.Fatalf("loadgen under client faults: %v (transport %+v)", err, tr.Stats())
+	}
+	n := len(ds.Events)
+	// Client books: acks lost to the fault layer surface as duplicates on
+	// the retry, so accepted + duplicates covers the trace exactly.
+	if rep.EventsAccepted+rep.Duplicates != n {
+		t.Fatalf("client accounted %d accepted + %d duplicates, want %d events",
+			rep.EventsAccepted, rep.Duplicates, n)
+	}
+	if rep.GiveUps != 0 {
+		t.Fatalf("give-ups under bounded faults: %v", rep.GiveUpsBySender)
+	}
+
+	run, serr := tsShutdown(ts)
+	if got := mustDigest(t, run, serr, "client-fault run"); got != want {
+		t.Fatalf("chaos digest %s != batch reference %s (faults %+v)", got, want, tr.Stats())
+	}
+
+	// Observer books: every admission seen, every server-side dedupe
+	// rejection attributable to a delivery the fault layer manufactured.
+	accepted, duplicates, manufactured := acct.books()
+	st := ts.srv.StatsSnapshot()
+	if accepted != n || st.EventsAccepted != int64(n) {
+		t.Fatalf("observer saw %d admissions, server counted %d, want %d",
+			accepted, st.EventsAccepted, n)
+	}
+	if int64(duplicates) != st.DuplicatesRejected {
+		t.Fatalf("observer saw %d dedupe rejections, server counted %d",
+			duplicates, st.DuplicatesRejected)
+	}
+	if duplicates != manufactured {
+		t.Fatalf("server rejected %d duplicate events but the fault layer manufactured %d — unaccounted duplicates",
+			duplicates, manufactured)
+	}
+}
+
+// runServerFaultSeed adds a fault-armed listener: conn resets can eat a
+// response after admission without the transport ever seeing the
+// exchange, so the property here is conservation and bit-equality.
+func runServerFaultSeed(t *testing.T, want string, scenario workload.Config, ds *dataset.Dataset, cspec, sspec netfault.Spec) {
+	meta := ds.Meta()
+	meta.Advertisers = nil
+	srv, err := serve.NewServer(serve.Config{Scenario: scenario, Meta: meta})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	hs := httptest.NewUnstartedServer(srv.Handler())
+	hs.Listener = netfault.WrapListener(hs.Listener, sspec)
+	hs.Start()
+	t.Cleanup(hs.Close)
+	ts := &testServer{srv: srv, http: hs}
+
+	client, tr := chaosClient(hs, cspec, nil)
+	rep, err := loadgen.Run(context.Background(), loadgen.Config{
+		Target: hs.URL, Dataset: ds, Senders: 1, BatchSize: 128,
+		Client: client, Seed: cspec.Seed,
+	})
+	if err != nil {
+		t.Fatalf("loadgen under wire faults: %v (transport %+v)", err, tr.Stats())
+	}
+	n := len(ds.Events)
+	if rep.EventsAccepted+rep.Duplicates != n {
+		t.Fatalf("client accounted %d accepted + %d duplicates, want %d events",
+			rep.EventsAccepted, rep.Duplicates, n)
+	}
+	if st := ts.srv.StatsSnapshot(); st.EventsAccepted != int64(n) {
+		t.Fatalf("server admitted %d events, want %d — conservation broken", st.EventsAccepted, n)
+	}
+	run, serr := tsShutdown(ts)
+	if got := mustDigest(t, run, serr, "wire-fault run"); got != want {
+		t.Fatalf("chaos digest %s != batch reference %s (faults %+v)", got, want, tr.Stats())
+	}
+}
+
+// runCrashResumeSeed crashes the service at a seeded WAL fault point
+// while a faulty client is mid-trace, resumes from the checkpoint, and
+// replays the entire trace: what was durable dedupes, what was lost
+// re-admits, and the stitched run must match the reference.
+func runCrashResumeSeed(t *testing.T, want string, scenario workload.Config, ds *dataset.Dataset, cspec netfault.Spec, countdown int64) {
+	scenario.CheckpointDir = t.TempDir()
+	scenario.SnapshotEveryDays = 3
+	scenario.GroupCommitEvents = 4
+
+	var left atomic.Int64
+	left.Store(countdown)
+	boom := errors.New("injected crash")
+	crashing := scenario
+	crashing.FaultHook = func(p stream.FaultPoint) error {
+		if p == stream.PointEventIngested && left.Add(-1) == 0 {
+			return boom
+		}
+		return nil
+	}
+
+	metaA := ds.Meta()
+	metaA.Advertisers = nil
+	tsA := newTestServer(t, serve.Config{Scenario: crashing, Meta: metaA})
+	clientA, _ := chaosClient(tsA.http, cspec, nil)
+
+	// The crash kills the service with the client mid-trace. A watcher
+	// cancels the load run the moment the served run dies, so the client
+	// fails fast instead of grinding its retry budget against a corpse.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		select {
+		case <-tsA.srv.Done():
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+	_, lerr := loadgen.Run(ctx, loadgen.Config{
+		Target: tsA.http.URL, Dataset: ds, Senders: 1, BatchSize: 128,
+		Client: clientA, Seed: cspec.Seed, RequestTimeout: 2 * time.Second,
+	})
+	cancel()
+	if lerr == nil {
+		t.Fatalf("crash at countdown %d never surfaced to the client", countdown)
+	}
+	if _, rerr := waitDone(t, tsA.srv); rerr == nil {
+		t.Fatalf("crashed run reported no error")
+	}
+
+	// Recovery: resume and replay the ENTIRE trace under a fresh fault
+	// schedule. The client does not know which suffix was lost, and does
+	// not need to — admission dedupe sorts it out.
+	resumed := scenario
+	resumed.Resume = true
+	tsB := newTestServer(t, serve.Config{Scenario: resumed, Meta: ds.Meta()})
+	respec := cspec
+	respec.Seed = cspec.Seed ^ 0xd6e8feb86659fd93
+	clientB, trB := chaosClient(tsB.http, respec, nil)
+	rep, err := loadgen.Run(context.Background(), loadgen.Config{
+		Target: tsB.http.URL, Dataset: ds, Senders: 1, BatchSize: 128,
+		Client: clientB, Seed: respec.Seed,
+	})
+	if err != nil {
+		t.Fatalf("replay after resume: %v (transport %+v)", err, trB.Stats())
+	}
+	n := len(ds.Events)
+	if rep.EventsAccepted+rep.Duplicates != n {
+		t.Fatalf("replay accounted %d accepted + %d duplicates, want %d events",
+			rep.EventsAccepted, rep.Duplicates, n)
+	}
+	if rep.Duplicates == 0 {
+		t.Fatalf("full replay after a crash saw no duplicate rejections; dedupe is not engaged")
+	}
+	run, serr := tsShutdown(tsB)
+	if got := mustDigest(t, run, serr, "crash-resume run"); got != want {
+		t.Fatalf("crash-resume digest %s != batch reference %s (crash at %d, faults %+v)",
+			got, want, countdown, trB.Stats())
+	}
+}
+
+// TestResponseDropRetryDeduped pins the single most important regression:
+// the server fully applies a batch, the acknowledgement is lost on the
+// wire, and the client's verbatim retry must come back 100% duplicates —
+// applied once, acked once.
+func TestResponseDropRetryDeduped(t *testing.T) {
+	meta := tinyMeta()
+	meta.Advertisers = []dataset.Advertiser{tinyAdvertiser()}
+	ts := newTestServer(t, serve.Config{
+		Scenario: workload.Config{EpsilonG: 1, Seed: 1, Parallelism: 1},
+		Meta:     meta,
+	})
+	tr := netfault.NewTransport(ts.http.Client().Transport, netfault.Spec{
+		Seed: 7, ResponseDrop: 1, MaxFaults: 1,
+	})
+	hc := &http.Client{Transport: tr, Timeout: 30 * time.Second}
+
+	evs := make([]serve.EventWire, 16)
+	for i := range evs {
+		evs[i] = serve.WireFromEvent(shedEvent(i))
+	}
+	body, _ := json.Marshal(serve.IngestRequest{Events: evs})
+
+	// First delivery: the server applies the whole batch, then the ack is
+	// lost. The client sees only an injected transport error.
+	_, err := hc.Post(ts.http.URL+"/v1/events", "application/json", bytes.NewReader(body))
+	if !errors.Is(err, netfault.ErrInjected) {
+		t.Fatalf("want injected ack loss, got %v", err)
+	}
+
+	// Verbatim retry: the fault budget is spent, so this delivery lands —
+	// and every event must be a dedupe rejection, not a double ingest.
+	resp, err := hc.Post(ts.http.URL+"/v1/events", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("retry: %v", err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("retry status %d: %s", resp.StatusCode, raw)
+	}
+	var ir serve.IngestResponse
+	if err := json.Unmarshal(raw, &ir); err != nil {
+		t.Fatalf("parsing retry response: %v", err)
+	}
+	if ir.Accepted != 0 || ir.Duplicates != len(evs) {
+		t.Fatalf("retry accepted %d / duplicates %d, want 0/%d", ir.Accepted, ir.Duplicates, len(evs))
+	}
+	st := ts.srv.StatsSnapshot()
+	if st.EventsAccepted != int64(len(evs)) || st.DuplicatesRejected != int64(len(evs)) {
+		t.Fatalf("server books: accepted %d dup %d, want %d/%d",
+			st.EventsAccepted, st.DuplicatesRejected, len(evs), len(evs))
+	}
+	if fs := tr.Stats(); fs.ResponseDrops != 1 || fs.Delivered != 2 {
+		t.Fatalf("transport books: %+v, want 1 drop over 2 deliveries", fs)
+	}
+	if _, err := tsShutdown(ts); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}

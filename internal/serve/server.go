@@ -29,6 +29,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/events"
@@ -54,6 +55,15 @@ type Config struct {
 	// and the service's ingest queue — the backpressure window surfaced
 	// as 429s. 0 selects 4096.
 	IngestBuffer int
+	// ShedDelay enables queue-delay overload shedding (DESIGN.md §14):
+	// when the oldest enqueued-but-unapplied event has been waiting longer
+	// than ShedDelay, ingest requests are shed with a fast 429
+	// (CodeOverload) carrying Retry-After, instead of joining a queue
+	// whose latency has already collapsed. Queue *delay* rather than queue
+	// *depth* is the signal, so a deep-but-draining queue is fine and a
+	// shallow-but-stuck one sheds. 0 disables shedding (backpressure 429s
+	// still apply when the queue is full).
+	ShedDelay time.Duration
 }
 
 // Server states, in order.
@@ -121,6 +131,9 @@ type netSource struct {
 	ready     chan struct{}
 	readyOnce sync.Once
 	suspended atomic.Bool
+	// clock tracks enqueue instants for the shedding gate (nil when
+	// shedding is disabled, keeping the hot path untouched).
+	clock *queueClock
 }
 
 // Meta implements dataset.Source.
@@ -134,6 +147,55 @@ func (s *netSource) Next() (events.Event, bool) {
 	s.readyOnce.Do(func() { close(s.ready) })
 	ev, ok := <-s.ch
 	return ev, ok
+}
+
+// queueClock is the shedding gate's FIFO of enqueue instants, running in
+// lockstep with the admission pipeline: handlers push as they enqueue,
+// onAdmit pops when the admission commits, and headAge is how long the
+// oldest enqueued-but-unapplied event has been waiting — the end-to-end
+// queue-delay overload signal (it spans the admission queue AND the
+// service's internal ingest queue, so backlog hiding in either shows
+// up). debt absorbs pops with no matching push (defensive; live pushes
+// and pops are serialized under the server mutex).
+type queueClock struct {
+	mu    sync.Mutex
+	times []int64
+	head  int
+	debt  int
+}
+
+func (q *queueClock) push(t int64) {
+	q.mu.Lock()
+	if q.debt > 0 {
+		q.debt--
+		q.mu.Unlock()
+		return
+	}
+	if q.head > 1024 && q.head*2 >= len(q.times) {
+		q.times = append(q.times[:0], q.times[q.head:]...)
+		q.head = 0
+	}
+	q.times = append(q.times, t)
+	q.mu.Unlock()
+}
+
+func (q *queueClock) pop() {
+	q.mu.Lock()
+	if q.head < len(q.times) {
+		q.head++
+	} else {
+		q.debt++
+	}
+	q.mu.Unlock()
+}
+
+func (q *queueClock) headAge(now int64) time.Duration {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.head >= len(q.times) {
+		return 0
+	}
+	return time.Duration(now - q.times[q.head])
 }
 
 // Suspended implements dataset.Suspender.
@@ -151,6 +213,10 @@ type Stats struct {
 	LateDropped        int64 `json:"lateDropped"`
 	// Backpressured counts ingest requests pushed back with a 429.
 	Backpressured int64 `json:"backpressured"`
+	// Shed counts ingest requests refused by the overload gate: the
+	// admission queue's head had been waiting past Config.ShedDelay, so
+	// the request got a fast 429 + Retry-After instead of queueing.
+	Shed          int64 `json:"shed"`
 	BadRequests   int64 `json:"badRequests"`
 	Results       int   `json:"results"`
 	QueueDepth    int   `json:"queueDepth"`
@@ -158,6 +224,11 @@ type Stats struct {
 	// Final-run telemetry, populated once State is "done" without error.
 	EventsIngested int `json:"eventsIngested,omitempty"`
 	EventsDropped  int `json:"eventsDropped,omitempty"`
+	// MaxQueueDelayMicros/AvgQueueDelayMicros are the service's ingest-
+	// queue sojourn telemetry from the finished run — the measured side of
+	// the signal ShedDelay acts on.
+	MaxQueueDelayMicros int64 `json:"maxQueueDelayMicros,omitempty"`
+	AvgQueueDelayMicros int64 `json:"avgQueueDelayMicros,omitempty"`
 }
 
 // Server is one served measurement run. Create with NewServer, expose
@@ -204,6 +275,9 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.IngestBuffer < 0 {
 		return nil, fmt.Errorf("serve: negative ingest buffer")
 	}
+	if cfg.ShedDelay < 0 {
+		return nil, fmt.Errorf("serve: negative shed delay")
+	}
 	s := &Server{
 		cfg:       cfg,
 		advBySite: make(map[events.Site]dataset.Advertiser),
@@ -247,6 +321,9 @@ func (s *Server) seal() {
 		ch:    make(chan events.Event, s.cfg.IngestBuffer),
 		ready: s.ready,
 	}
+	if s.cfg.ShedDelay > 0 {
+		src.clock = &queueClock{}
+	}
 	s.src = src
 	s.state = stateServing
 
@@ -273,6 +350,8 @@ func (s *Server) runService(wcfg workload.Config, src *netSource) {
 	if run != nil {
 		s.stats.EventsIngested = run.EventsIngested
 		s.stats.EventsDropped = run.EventsDropped
+		s.stats.MaxQueueDelayMicros = run.MaxQueueDelay.Microseconds()
+		s.stats.AvgQueueDelayMicros = run.AvgQueueDelay.Microseconds()
 	}
 	close(s.done)
 	s.mu.Unlock()
@@ -291,6 +370,16 @@ func (s *Server) onAdmit(ev events.Event, dropped bool) {
 	s.mu.Lock()
 	if dropped {
 		s.stats.LateDropped++
+	}
+	if s.src != nil && s.src.clock != nil {
+		// Pop the shed clock only for live admissions: replayed admissions
+		// (resume recovery, which runs before the source turns ready) were
+		// never pushed by a handler this incarnation.
+		select {
+		case <-s.src.ready:
+			s.src.clock.pop()
+		default:
+		}
 	}
 	c := cursor{ev.Day, ev.ID}
 	if prev, ok := s.applied[ev.Device]; !ok || prev.before(ev) {
@@ -427,6 +516,25 @@ func (s *Server) buildMux() {
 	s.mux.HandleFunc("/v1/shutdown", s.handleShutdown)
 }
 
+// retryAfter stamps a pushback response (429/503) with retry guidance:
+// the standard integer-seconds Retry-After header (ceiling, minimum 1)
+// plus a precise milliseconds hint returned for the body's retryAfterMs,
+// so clients with sub-second backoff need not round up to a full second.
+func retryAfter(w http.ResponseWriter, d time.Duration) int64 {
+	if d < 50*time.Millisecond {
+		d = 50 * time.Millisecond
+	}
+	if d > 30*time.Second {
+		d = 30 * time.Second
+	}
+	secs := (d + time.Second - 1) / time.Second
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(int64(secs), 10))
+	return d.Milliseconds()
+}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -521,9 +629,29 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	select {
 	case <-src.ready:
 	default:
+		ms := retryAfter(w, 100*time.Millisecond)
 		writeJSON(w, http.StatusServiceUnavailable,
-			ErrorResponse{Error: "service is recovering; retry", Code: CodeUnavailable})
+			ErrorResponse{Error: "service is recovering; retry", Code: CodeUnavailable, RetryAfterMs: ms})
 		return
+	}
+
+	// Overload gate: shed before queueing when the admission queue's head
+	// has waited past ShedDelay. A fast 429 + Retry-After converts
+	// sustained saturation into client backoff instead of unbounded
+	// latency; the gate self-clears as the service drains the backlog.
+	if shed := s.cfg.ShedDelay; shed > 0 && src.clock != nil {
+		if age := src.clock.headAge(time.Now().UnixNano()); age > shed {
+			s.mu.Lock()
+			s.stats.Shed++
+			s.mu.Unlock()
+			ms := retryAfter(w, age)
+			writeJSON(w, http.StatusTooManyRequests, ErrorResponse{
+				Error:        "overloaded: admission queue delay exceeds the shed threshold",
+				Code:         CodeOverload,
+				RetryAfterMs: ms,
+			})
+			return
+		}
 	}
 
 	s.mu.Lock()
@@ -537,6 +665,10 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	backpressured := false
 	var lastDev events.DeviceID
 	var lastNeed cursor
+	var enqNow int64
+	if src.clock != nil {
+		enqNow = time.Now().UnixNano()
+	}
 	for _, ev := range decoded {
 		if c, ok := s.cursors[ev.Device]; ok && !c.before(ev) {
 			duplicates++
@@ -547,6 +679,9 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			s.cursors[ev.Device] = cursor{ev.Day, ev.ID}
 			lastDev, lastNeed = ev.Device, cursor{ev.Day, ev.ID}
 			accepted++
+			if src.clock != nil {
+				src.clock.push(enqNow)
+			}
 		default:
 			backpressured = true
 		}
@@ -593,9 +728,13 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	if backpressured {
 		// The admitted prefix stays admitted (its cursors advanced); the
 		// client retries the whole batch and the prefix deduplicates.
+		// Duplicates reports dedupe hits in the processed prefix so an
+		// observer can account for every delivery even on a 429.
+		ms := retryAfter(w, 50*time.Millisecond)
 		writeJSON(w, http.StatusTooManyRequests, ErrorResponse{
 			Error: "ingest queue full", Code: CodeBackpressure,
-			Accepted: accepted,
+			Accepted: accepted, Duplicates: duplicates,
+			RetryAfterMs: ms,
 		})
 		return
 	}

@@ -337,6 +337,13 @@ type Run struct {
 	// PeakQueue is the deepest the ingest queue got — how close the
 	// service came to exerting backpressure.
 	PeakQueue int
+	// MaxQueueDelay and AvgQueueDelay measure ingest-queue sojourn time:
+	// how long events sat buffered between the producer's enqueue and the
+	// day clock draining them. Sustained growth here is the overload
+	// signal the serving layer's shedding gate acts on (DESIGN.md §14).
+	// Observability only — never part of the equivalence digests.
+	MaxQueueDelay time.Duration
+	AvgQueueDelay time.Duration
 	// PeakResidentRecords is the maximum number of device-epoch records
 	// resident in the event store at any day boundary; with retention on,
 	// it tracks the attribution window rather than the trace length.
@@ -557,6 +564,10 @@ func (s *Service) Serve() (run *Run, err error) {
 	}
 
 	queue := make(chan events.Event, s.cfg.QueueSize)
+	// times runs in lockstep with queue, carrying each event's enqueue
+	// instant so the drain loop can measure sojourn time — the queue-delay
+	// signal the serving layer's overload shedding keys on.
+	times := make(chan int64, s.cfg.QueueSize)
 	done := make(chan struct{})
 	defer close(done)
 	go func() {
@@ -566,8 +577,14 @@ func (s *Service) Serve() (run *Run, err error) {
 			if !ok {
 				return
 			}
+			t := time.Now().UnixNano()
 			select {
 			case queue <- ev:
+			case <-done:
+				return
+			}
+			select {
+			case times <- t:
 			case <-done:
 				return
 			}
@@ -575,7 +592,16 @@ func (s *Service) Serve() (run *Run, err error) {
 	}()
 
 	skip := s.skip
+	var delaySum, delayCount int64
 	for ev := range queue {
+		enq := <-times
+		if d := time.Now().UnixNano() - enq; d > 0 {
+			if time.Duration(d) > s.run.MaxQueueDelay {
+				s.run.MaxQueueDelay = time.Duration(d)
+			}
+			delaySum += d
+			delayCount++
+		}
 		if skip > 0 {
 			skip--
 			continue
@@ -588,6 +614,9 @@ func (s *Service) Serve() (run *Run, err error) {
 		if err := s.step(ev); err != nil {
 			return nil, err
 		}
+	}
+	if delayCount > 0 {
+		s.run.AvgQueueDelay = time.Duration(delaySum / delayCount)
 	}
 	// A suspended source ended mid-trace (graceful shutdown of a live
 	// feed): the in-progress day must NOT flush — its remaining events

@@ -120,6 +120,8 @@ func RunFromStream(cfg Config, srun *stream.Run) *Run {
 		EventsIngested: srun.EventsIngested,
 		EventsDropped:  srun.EventsDropped,
 		Durability:     srun.Durability,
+		MaxQueueDelay:  srun.MaxQueueDelay,
+		AvgQueueDelay:  srun.AvgQueueDelay,
 		fleet:          srun.Fleet,
 		totalConsumed:  srun.TotalConsumed,
 		firstSpanEpoch: srun.FirstSpanEpoch,

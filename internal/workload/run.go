@@ -3,6 +3,7 @@ package workload
 import (
 	"math"
 	"sort"
+	"time"
 
 	"repro/internal/aggregation"
 	"repro/internal/budget"
@@ -34,6 +35,11 @@ type Run struct {
 	// for batch runs and for streaming runs without a checkpoint
 	// directory). Observability only — never part of CanonicalDigest.
 	Durability stream.DurabilityStats
+	// MaxQueueDelay and AvgQueueDelay are the streaming run's ingest-queue
+	// sojourn telemetry (zero for batch runs) — the overload signal the
+	// serving layer's shedding gate reads. Observability only.
+	MaxQueueDelay time.Duration
+	AvgQueueDelay time.Duration
 
 	db        *events.Database
 	fleet     *core.Fleet
